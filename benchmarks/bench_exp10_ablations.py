@@ -1,0 +1,47 @@
+"""EXP-10: ablations around the design space of Algorithm 5.
+
+(a) longer leader churn widens the divergence window but never breaks final
+    agreement; (b) a slower promote period trades message volume for
+    delivery latency; (c) the *implemented* (heartbeat) Omega stabilizes
+    shortly after the network's GST, realizing the oracle under partial
+    synchrony.
+"""
+
+from repro.analysis.experiments import (
+    exp_ablation_churn,
+    exp_ablation_heartbeat_gst,
+    exp_ablation_promote_period,
+)
+
+
+def test_exp10a_churn_vs_divergence(run_once):
+    result = run_once(exp_ablation_churn, taus=(0, 150, 300, 600))
+    print("\n" + result.render())
+
+    assert all(r["ok"] for r in result.rows), result.rows
+    divergence = {r["tau_omega"]: r["total_divergence"] for r in result.rows}
+    assert divergence[0] == 0, "no churn, no divergence"
+    # Divergence grows with the churn window.
+    assert divergence[150] < divergence[600]
+    assert divergence[300] > 0
+
+
+def test_exp10b_promote_period(run_once):
+    result = run_once(exp_ablation_promote_period, periods=(2, 4, 8, 16))
+    print("\n" + result.render())
+
+    by_period = {r["period"]: r for r in result.rows}
+    # Message volume falls as the promote period grows...
+    assert by_period[16]["sent"] < by_period[2]["sent"]
+    # ...while latency (in ticks) grows, mildly.
+    assert by_period[16]["mean_ticks"] >= by_period[2]["mean_ticks"]
+
+
+def test_exp10c_heartbeat_gst(run_once):
+    result = run_once(exp_ablation_heartbeat_gst, gsts=(50, 150, 300))
+    print("\n" + result.render())
+
+    for row in result.rows:
+        assert row["correct"], row
+        # Stabilizes within a few timeout-bound escalations after GST.
+        assert row["stabilized_at"] <= row["gst"] + 200, row

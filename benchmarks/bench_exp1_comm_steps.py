@@ -1,0 +1,37 @@
+"""EXP-1: delivery latency in communication steps (paper Sections 1, 5, 7).
+
+Claim: with a stable leader, Algorithm 5 stably delivers after the optimal
+**two** communication steps (update to the leader, promote to all), while a
+consensus-based strong TOB needs **three** ([22]). The absolute tick values
+are simulator artifacts; the step counts are the reproduced result.
+"""
+
+from repro.analysis.experiments import exp_comm_steps
+
+
+def test_exp1_comm_steps(run_once):
+    result = run_once(exp_comm_steps, ns=(3, 5, 7))
+    print("\n" + result.render())
+
+    etob_rows = [r for r in result.rows if r["protocol"] == "etob"]
+    tob_rows = [r for r in result.rows if r["protocol"] == "tob-consensus"]
+    ct_rows = [r for r in result.rows if r["protocol"] == "tob-ct"]
+    assert etob_rows and tob_rows and ct_rows
+
+    # Every message was delivered.
+    assert all(r["undelivered"] == 0 for r in result.rows)
+
+    # Shape: ETOB ~ 2 steps, Paxos TOB ~ 3 steps, CT TOB ~ 5 steps.
+    for row in etob_rows:
+        assert 1.5 <= row["mean_steps"] <= 2.4, row
+    for row in tob_rows:
+        assert 2.5 <= row["mean_steps"] <= 3.6, row
+    for row in ct_rows:
+        assert 4.4 <= row["mean_steps"] <= 5.8, row
+
+    # The one-message-delay gap (the paper's exact time difference).
+    for n in {r["n"] for r in result.rows}:
+        etob = next(r for r in etob_rows if r["n"] == n)
+        tob = next(r for r in tob_rows if r["n"] == n)
+        gap = tob["mean_steps"] - etob["mean_steps"]
+        assert 0.6 <= gap <= 1.6, (n, gap)

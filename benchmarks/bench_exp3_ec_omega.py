@@ -1,0 +1,27 @@
+"""EXP-3: Omega suffices for EC in any environment (Lemma 2, Algorithm 4).
+
+Claim: EC-Termination/Integrity/Validity hold always and EC-Agreement from
+some instance on — with no assumption on how many processes crash, including
+minority-correct and single-survivor environments where consensus is
+impossible with Omega alone.
+"""
+
+from repro.analysis.experiments import exp_ec_any_environment
+
+
+def test_exp3_ec_any_environment(run_once):
+    result = run_once(exp_ec_any_environment)
+    print("\n" + result.render())
+
+    assert all(r["ok"] for r in result.rows), result.rows
+
+    by_env = {r["environment"]: r for r in result.rows}
+    # Stable-leader runs agree from the very first instance.
+    assert by_env["crash-free n=4"]["k"] == 1
+    assert by_env["minority correct (1/3)"]["k"] == 1
+    assert by_env["single survivor (1/4)"]["k"] == 1
+    # Churny runs stabilize strictly later, around the detector's
+    # stabilization time.
+    churn = by_env["crash-free n=4, churn"]
+    assert churn["k"] > 1
+    assert churn["k_time"] >= 250

@@ -1,0 +1,20 @@
+"""EXP-4: ETOB's stabilization time tracks the proof's bound (Lemma 3).
+
+Claim: the run satisfies ETOB-Stability and ETOB-Total-order from some time
+tau <= tau_Omega + Delta_t (local timeout) + Delta_c (message delay): the
+divergence window ends one promote round-trip after Omega stabilizes.
+"""
+
+from repro.analysis.experiments import exp_etob_stabilization
+
+
+def test_exp4_etob_stabilization(run_once):
+    result = run_once(exp_etob_stabilization, taus=(0, 100, 200, 400))
+    print("\n" + result.render())
+
+    assert all(r["ok"] for r in result.rows), result.rows
+    for row in result.rows:
+        assert row["tau"] <= row["bound"], row
+    # tau grows (weakly) with tau_Omega: the detector is the bottleneck.
+    taus = [r["tau"] for r in result.rows]
+    assert taus == sorted(taus)

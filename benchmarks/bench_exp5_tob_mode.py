@@ -1,0 +1,17 @@
+"""EXP-5: with Omega stable from the start, Algorithm 5 is *strong* TOB.
+
+Claim (property (2) of the algorithm): if Omega outputs the same leader at
+all processes from the very beginning, the ETOB run satisfies the full
+(tau = 0) total order broadcast specification — even with crashes, even
+without a correct majority.
+"""
+
+from repro.analysis.experiments import exp_tob_mode
+
+
+def test_exp5_tob_mode(run_once):
+    result = run_once(exp_tob_mode)
+    print("\n" + result.render())
+
+    assert all(r["ok"] for r in result.rows), result.rows
+    assert all(r["tau"] == 0 for r in result.rows), result.rows

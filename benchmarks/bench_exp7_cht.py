@@ -1,0 +1,20 @@
+"""EXP-7: Omega is necessary for EC — the CHT-style extraction (Lemma 1).
+
+Claim: from any algorithm implementing EC with a detector D, processes can
+emulate Omega by gossiping detector samples (DAGs), simulating schedules of
+the algorithm, and reading the deciding process off a decision gadget in the
+simulation tree. The emulated output stabilizes on the same correct process
+at all correct processes.
+"""
+
+from repro.analysis.experiments import exp_cht_extraction
+
+
+def test_exp7_cht_extraction(run_once):
+    result = run_once(exp_cht_extraction)
+    print("\n" + result.render())
+
+    for row in result.rows:
+        assert row["stabilized"], row
+        assert row["correct"], row
+        assert row["extractions"] > 0, row

@@ -1,0 +1,24 @@
+"""EXP-8: Sigma is the exact gap between consistency and eventual consistency.
+
+Claim: after the correct majority is lost, (a) ETOB with Omega alone keeps
+delivering, (b) consensus-based TOB with majority quorums blocks forever,
+(c) consensus-based TOB with Sigma quorums keeps working — so the difference
+between the two consistency levels is exactly the Sigma detector (and the
+availability it cannot provide without intersecting live quorums).
+"""
+
+from repro.analysis.experiments import exp_partition_gap
+
+
+def test_exp8_partition_gap(run_once):
+    result = run_once(exp_partition_gap)
+    print("\n" + result.render())
+
+    by_case = {(r["protocol"], r["detector"]): r for r in result.rows}
+    etob = by_case[("etob", "Omega")]
+    tob_majority = by_case[("tob-consensus", "Omega (majority quorums)")]
+    tob_sigma = by_case[("tob-consensus", "Omega + Sigma")]
+
+    assert etob["available"], "ETOB must survive the loss of the majority"
+    assert not tob_majority["available"], "majority consensus must block"
+    assert tob_sigma["available"], "Omega+Sigma consensus must survive"

@@ -1,0 +1,26 @@
+"""EXP-9: eventual irrevocable consensus (Theorem 3, Appendix A).
+
+Claim: relaxing integrity instead of agreement yields an equivalent
+abstraction: responses may be revised while the detector misbehaves, but
+revisions are finite, stop after stabilization (the integrity index), and
+final responses agree.
+"""
+
+from repro.analysis.experiments import exp_eic
+
+
+def test_exp9_eic(run_once):
+    result = run_once(exp_eic)
+    print("\n" + result.render())
+
+    assert all(r["ok"] for r in result.rows), result.rows
+    by_scenario = {r["scenario"]: r for r in result.rows}
+    stable = by_scenario["stable Omega"]
+    churn = by_scenario["churn until t=300"]
+
+    # No revisions at all under a stable detector.
+    assert stable["revisions"] == 0
+    assert stable["integrity_index"] == 1
+    # Churn causes revisions, all confined below the integrity index.
+    assert churn["revisions"] > 0
+    assert churn["integrity_index"] > 1

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each experiment is a deterministic multi-simulation scenario taking seconds;
+the ``run_once`` fixture runs it exactly once under pytest-benchmark (so the
+harness reports wall time per experiment) and returns its result for the
+shape assertions. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark exactly one invocation of a callable; return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            lambda: fn(*args, **kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return _run

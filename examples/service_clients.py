@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The service from the outside: clients, retries, failover.
+
+Three replicas run an eventually consistent KV store (Algorithm 5 + replica
+layer + client-serving layer); two *client* processes — plain processes, not
+part of the replication group — submit commands over the network. One
+client's sticky replica crashes mid-run: the client times out, fails over to
+the next replica, and still gets its answer. Both clients observe the same
+eventually consistent store.
+
+Run:  python examples/service_clients.py
+"""
+
+from repro import (
+    EtobLayer,
+    FailurePattern,
+    FixedDelay,
+    KvStore,
+    OmegaDetector,
+    ProtocolStack,
+    ReplicaLayer,
+    Simulation,
+)
+from repro.replication.client import ClientProcess, ClientServingLayer
+
+REPLICAS = 3
+CLIENTS = 2  # pids 3 and 4
+
+
+def main() -> None:
+    n = REPLICAS + CLIENTS
+    # Replica p0 — client 3's sticky target — crashes at t=120.
+    pattern = FailurePattern.crash(n, {0: 120})
+    omega = OmegaDetector(stabilization_time=0, leader=1).history(pattern)
+    replica_ids = list(range(REPLICAS))
+    processes = [
+        ProtocolStack([EtobLayer(), ReplicaLayer(KvStore()), ClientServingLayer()])
+        for _ in range(REPLICAS)
+    ] + [ClientProcess(replica_ids, retry_after=70) for _ in range(CLIENTS)]
+
+    sim = Simulation(
+        processes,
+        failure_pattern=pattern,
+        detector=omega,
+        delay_model=FixedDelay(3),
+        timeout_interval=4,
+        message_batch=4,
+    )
+
+    # Client 3 targets p0 (which dies); client 4 also starts at p0.
+    sim.add_input(3, 50, ("submit", ("set", "motd", "hello")))
+    sim.add_input(3, 200, ("submit", ("set", "count", 1)))
+    sim.add_input(4, 260, ("submit", ("cas", "count", 1, 2)))
+    sim.add_input(4, 420, ("submit", ("get", "motd")))
+    sim.run_until(1500)
+
+    for client in (3, 4):
+        print(f"client p{client}:")
+        for t, (rid, target) in sim.run.tagged_outputs(client, "client-retry"):
+            print(f"  t={t:4d}  request {rid}: timed out, failing over to p{target}")
+        for t, (rid, result) in sim.run.tagged_outputs(client, "client-response"):
+            print(f"  t={t:4d}  request {rid} -> {result!r}")
+        print()
+
+    print("Replica states:")
+    for pid in range(REPLICAS):
+        replica = processes[pid].layer("replica")
+        status = "crashed" if pid in pattern.faulty else "correct"
+        print(f"  p{pid} ({status}): {replica.state}")
+    survivors = [processes[p].layer("replica").state for p in (1, 2)]
+    print()
+    print(f"Surviving replicas agree: {survivors[0] == survivors[1]}")
+
+
+if __name__ == "__main__":
+    main()

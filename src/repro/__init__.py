@@ -1,0 +1,140 @@
+"""repro — The Weakest Failure Detector for Eventual Consistency (PODC 2015).
+
+A complete executable reproduction of Dubois, Guerraoui, Kuznetsov, Petit and
+Sens: eventual consensus (EC) and eventual total order broadcast (ETOB) from
+the Omega failure detector, the transformations proving EC = ETOB and
+EC = EIC, the CHT-style extraction showing Omega is *necessary* for EC, and
+the strong-consistency baselines (Paxos from Omega with majority or Sigma
+quorums) that exhibit the exact gap — Sigma, and one message delay — between
+consistency and eventual consistency.
+
+Quick start::
+
+    from repro import (
+        EtobLayer, ProtocolStack, Simulation, FailurePattern, OmegaDetector,
+    )
+
+    n = 5
+    pattern = FailurePattern.no_failures(n)
+    omega = OmegaDetector(stabilization_time=100).history(pattern)
+    procs = [ProtocolStack([EtobLayer()]) for _ in range(n)]
+    sim = Simulation(procs, failure_pattern=pattern, detector=omega)
+    sim.add_input(0, 10, ("broadcast", "hello"))
+    sim.run_until(500)
+
+See ``examples/`` for full scenarios, ``DESIGN.md`` for the system inventory
+and ``EXPERIMENTS.md`` for the claim-by-claim reproduction record.
+"""
+
+from repro.broadcast import UrbLayer
+from repro.consensus import (
+    MultivaluedConsensusLayer,
+    PaxosConsensusLayer,
+    TobFromConsensusLayer,
+)
+from repro.core import (
+    AppMessage,
+    CausalGraph,
+    EcDriverLayer,
+    EcUsingOmegaLayer,
+    EicDriverLayer,
+    EicUsingOmegaLayer,
+    EtobLayer,
+    MessageId,
+)
+from repro.core.transformations import (
+    EcToEicLayer,
+    EcToEtobLayer,
+    EicToEcLayer,
+    EtobToEcLayer,
+)
+from repro.detectors import (
+    CompositeDetector,
+    OmegaDetector,
+    SigmaDetector,
+)
+from repro.detectors.heartbeat import HeartbeatOmegaLayer, HeartbeatOmegaProcess
+from repro.properties import (
+    check_causal_order,
+    check_ec,
+    check_eic,
+    check_etob,
+    check_tob,
+    check_urb,
+)
+from repro.replication import (
+    BankLedger,
+    ClientProcess,
+    ClientServingLayer,
+    CommittedPrefixLayer,
+    Counter,
+    KvStore,
+    ReplicaLayer,
+)
+from repro.scenario import Scenario
+from repro.sim import (
+    Environment,
+    FailurePattern,
+    FixedDelay,
+    GstDelay,
+    Layer,
+    Network,
+    PartitionWindow,
+    PartitionedDelay,
+    Process,
+    ProtocolStack,
+    Simulation,
+    UniformRandomDelay,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppMessage",
+    "BankLedger",
+    "CausalGraph",
+    "ClientProcess",
+    "ClientServingLayer",
+    "CommittedPrefixLayer",
+    "CompositeDetector",
+    "Counter",
+    "EcDriverLayer",
+    "EcToEicLayer",
+    "EcToEtobLayer",
+    "EcUsingOmegaLayer",
+    "EicDriverLayer",
+    "EicToEcLayer",
+    "EicUsingOmegaLayer",
+    "Environment",
+    "EtobLayer",
+    "EtobToEcLayer",
+    "FailurePattern",
+    "FixedDelay",
+    "GstDelay",
+    "HeartbeatOmegaLayer",
+    "HeartbeatOmegaProcess",
+    "KvStore",
+    "Layer",
+    "MessageId",
+    "MultivaluedConsensusLayer",
+    "Network",
+    "OmegaDetector",
+    "PartitionWindow",
+    "PartitionedDelay",
+    "PaxosConsensusLayer",
+    "Process",
+    "ProtocolStack",
+    "ReplicaLayer",
+    "Scenario",
+    "SigmaDetector",
+    "Simulation",
+    "TobFromConsensusLayer",
+    "UniformRandomDelay",
+    "UrbLayer",
+    "check_causal_order",
+    "check_ec",
+    "check_eic",
+    "check_etob",
+    "check_tob",
+    "check_urb",
+]

@@ -1,0 +1,841 @@
+"""Scenario runners for the reproduction experiments (EXP-1 .. EXP-10).
+
+Each ``exp_*`` function runs the simulations for one experiment of
+EXPERIMENTS.md and returns an :class:`ExperimentResult` holding structured
+rows and a rendered table. The benchmark harness (``benchmarks/``) calls
+these under ``pytest-benchmark``; ``EXPERIMENTS.md`` quotes their tables.
+
+The functions are deterministic for fixed seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.analysis.metrics import divergence_windows, latency_report, message_counts
+from repro.analysis.tables import Table
+from repro.consensus import PaxosConsensusLayer, TobFromConsensusLayer
+from repro.core import (
+    EcDriverLayer,
+    EcUsingOmegaLayer,
+    EicDriverLayer,
+    EicUsingOmegaLayer,
+    EtobLayer,
+)
+from repro.core.etob_variants import ArrivalOrderEtobLayer
+from repro.core.messages import payloads
+from repro.core.transformations import EcToEtobLayer, EtobToEcLayer
+from repro.detectors import CompositeDetector, OmegaDetector, SigmaDetector
+from repro.detectors.heartbeat import HeartbeatOmegaProcess
+from repro.properties import (
+    check_causal_order,
+    check_ec,
+    check_eic,
+    check_etob,
+    check_tob,
+    extract_timeline,
+)
+from repro.sim import (
+    FailurePattern,
+    FixedDelay,
+    GstDelay,
+    ProtocolStack,
+    Simulation,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus a rendered table for one experiment."""
+
+    name: str
+    table: Table
+    rows: list[dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        return self.table.render()
+
+
+# ---------------------------------------------------------------------------
+# shared builders
+# ---------------------------------------------------------------------------
+
+
+def _broadcast_protocol(
+    protocol: str, *, quorum_mode: str = "majority"
+) -> Callable[[], ProtocolStack]:
+    """Factory of one process for a named broadcast protocol."""
+    if protocol == "etob":
+        return lambda: ProtocolStack([EtobLayer()])
+    if protocol == "ec-etob":
+        return lambda: ProtocolStack([EcUsingOmegaLayer(), EcToEtobLayer()])
+    if protocol == "tob-consensus":
+        return lambda: ProtocolStack(
+            [PaxosConsensusLayer(quorum_mode=quorum_mode), TobFromConsensusLayer()]
+        )
+    if protocol == "tob-ct":
+        from repro.consensus import ChandraTouegConsensusLayer
+
+        return lambda: ProtocolStack(
+            [ChandraTouegConsensusLayer(), TobFromConsensusLayer()]
+        )
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def _detector(
+    pattern,
+    *,
+    tau_omega,
+    pre_behavior="rotate",
+    with_sigma=False,
+    with_suspects=False,
+    seed=0,
+):
+    omega = OmegaDetector(stabilization_time=tau_omega, pre_behavior=pre_behavior)
+    if with_sigma or with_suspects:
+        from repro.detectors import EventuallyStrongDetector
+
+        components = {"omega": omega}
+        if with_sigma:
+            components["sigma"] = SigmaDetector(stabilization_time=tau_omega)
+        if with_suspects:
+            components["suspects"] = EventuallyStrongDetector(
+                stabilization_time=tau_omega
+            )
+        return CompositeDetector(components).history(pattern, seed=seed)
+    return omega.history(pattern, seed=seed)
+
+
+def _run_broadcast_scenario(
+    protocol: str,
+    *,
+    n: int,
+    broadcasts: Sequence[tuple[int, int, Any]],
+    duration: int,
+    delay: int = 2,
+    timeout: int = 2,
+    tau_omega: int = 0,
+    pre_behavior: str = "rotate",
+    crashes: dict[int, int] | None = None,
+    quorum_mode: str = "majority",
+    seed: int = 0,
+) -> Simulation:
+    pattern = FailurePattern.crash(n, crashes or {})
+    detector = _detector(
+        pattern,
+        tau_omega=tau_omega,
+        pre_behavior=pre_behavior,
+        with_sigma=(quorum_mode == "sigma"),
+        with_suspects=(protocol == "tob-ct"),
+        seed=seed,
+    )
+    factory = _broadcast_protocol(protocol, quorum_mode=quorum_mode)
+    sim = Simulation(
+        [factory() for _ in range(n)],
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(delay),
+        timeout_interval=timeout,
+        seed=seed,
+        message_batch=4,
+    )
+    for pid, t, payload in broadcasts:
+        sim.add_input(pid, t, ("broadcast", payload))
+    sim.run_until(duration)
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# EXP-1: communication steps (2 for ETOB vs 3 for strong TOB)
+# ---------------------------------------------------------------------------
+
+
+def exp_comm_steps(
+    ns: Sequence[int] = (3, 5, 7),
+    *,
+    delay: int = 60,
+    messages: int = 6,
+    seed: int = 0,
+) -> ExperimentResult:
+    """EXP-1: stable-delivery latency in communication steps, stable leader.
+
+    Paper claim: ETOB delivers in the optimal two steps; strong TOB needs
+    three ([22]). A large network delay dominates timer noise so the
+    steps estimate is crisp. Early messages are skipped for the consensus
+    baseline (its first decision amortizes the Paxos prepare phase).
+    """
+    table = Table(
+        "EXP-1: stable-delivery latency (communication steps), stable leader",
+        ["n", "protocol", "mean steps", "max steps", "paper"],
+    )
+    rows: list[dict] = []
+    for n in ns:
+        warmup = [(0, 5, "warm-0"), (1, 9, "warm-1")]
+        start = 40 * delay
+        # Broadcast from non-leader processes only: the paper's two-step path
+        # is update-to-leader then promote; the leader's own broadcasts skip
+        # the first hop and would skew the mean below 2.
+        spaced = [
+            (1 + i % (n - 1), start + i * 8 * delay, f"msg-{i}")
+            for i in range(messages)
+        ]
+        # tob-ct: the original [3] construction as a non-optimal extra
+        # baseline — one diffusion step plus four CT phases (estimate,
+        # proposal, ack, decide) = 5 steps per delivery.
+        for protocol, paper_steps in (
+            ("etob", 2),
+            ("tob-consensus", 3),
+            ("tob-ct", 5),
+        ):
+            sim = _run_broadcast_scenario(
+                protocol,
+                n=n,
+                broadcasts=warmup + spaced,
+                duration=start + (messages + 12) * 8 * delay,
+                delay=delay,
+                timeout=2,
+                tau_omega=0,
+                seed=seed,
+            )
+            report = latency_report(sim.run, delay_ticks=delay, timer_ticks=n)
+            measured = [
+                l for l in report.latencies if l.broadcast_time >= start
+            ]
+            report.latencies = measured
+            rows.append(
+                {
+                    "n": n,
+                    "protocol": protocol,
+                    "mean_steps": report.mean_steps(),
+                    "max_steps": report.max_steps(),
+                    "paper_steps": paper_steps,
+                    "undelivered": report.undelivered_count,
+                }
+            )
+            table.add_row(
+                n,
+                protocol,
+                report.mean_steps() or float("nan"),
+                report.max_steps() or float("nan"),
+                paper_steps,
+            )
+    return ExperimentResult("comm-steps", table, rows)
+
+
+# ---------------------------------------------------------------------------
+# EXP-2: EC = ETOB (Theorem 1)
+# ---------------------------------------------------------------------------
+
+
+def exp_equivalence(*, n: int = 4, seed: int = 0) -> ExperimentResult:
+    """EXP-2: the transformation stacks satisfy the target specifications."""
+    table = Table(
+        "EXP-2: Theorem 1 equivalence (checkers on transformation stacks)",
+        ["stack", "spec", "verdict", "tau / k", "messages"],
+    )
+    rows: list[dict] = []
+    broadcasts = [(p, 20 + 50 * i, f"m{i}.{p}") for i in range(3) for p in range(n)]
+
+    for protocol, label in (("etob", "ETOB (Alg 5, native)"), ("ec-etob", "EC->ETOB (Alg 1 over Alg 4)")):
+        sim = _run_broadcast_scenario(
+            protocol,
+            n=n,
+            broadcasts=broadcasts,
+            duration=2500,
+            tau_omega=200,
+            seed=seed,
+        )
+        report = check_etob(sim.run)
+        counts = message_counts(sim)
+        rows.append(
+            {
+                "stack": label,
+                "ok": report.ok,
+                "tau": report.tau,
+                "sent": counts["sent"],
+            }
+        )
+        table.add_row(label, "ETOB", report.ok, f"tau={report.tau}", counts["sent"])
+
+    # EC built from ETOB (Algorithm 2 over Algorithm 5).
+    pattern = FailurePattern.no_failures(n)
+    detector = _detector(pattern, tau_omega=200, seed=seed)
+    procs = [
+        ProtocolStack([EtobLayer(), EtobToEcLayer(), EcDriverLayer(max_instances=25)])
+        for _ in range(n)
+    ]
+    sim = Simulation(
+        procs,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(2),
+        timeout_interval=2,
+        seed=seed,
+        message_batch=4,
+    )
+    sim.run_until(6000)
+    ec = check_ec(sim.run, expected_instances=25)
+    counts = message_counts(sim)
+    rows.append({"stack": "ETOB->EC (Alg 2 over Alg 5)", "ok": ec.ok, "k": ec.agreement_index})
+    table.add_row(
+        "ETOB->EC (Alg 2 over Alg 5)",
+        "EC",
+        ec.ok,
+        f"k={ec.agreement_index}",
+        counts["sent"],
+    )
+
+    # Native EC for reference. Algorithm 4 burns through instances much
+    # faster than the ETOB-based stack, so it needs more of them for a tail
+    # to start after Omega stabilizes.
+    procs = [
+        ProtocolStack([EcUsingOmegaLayer(), EcDriverLayer(max_instances=80)])
+        for _ in range(n)
+    ]
+    detector = _detector(pattern, tau_omega=200, seed=seed)
+    sim = Simulation(
+        procs,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(2),
+        timeout_interval=2,
+        seed=seed,
+        message_batch=4,
+    )
+    sim.run_until(6000)
+    ec = check_ec(sim.run, expected_instances=80)
+    counts = message_counts(sim)
+    rows.append({"stack": "EC (Alg 4, native)", "ok": ec.ok, "k": ec.agreement_index})
+    table.add_row(
+        "EC (Alg 4, native)", "EC", ec.ok, f"k={ec.agreement_index}", counts["sent"]
+    )
+    return ExperimentResult("equivalence", table, rows)
+
+
+# ---------------------------------------------------------------------------
+# EXP-3: EC from Omega in any environment (Lemma 2)
+# ---------------------------------------------------------------------------
+
+
+def exp_ec_any_environment(*, seed: int = 0) -> ExperimentResult:
+    """EXP-3: Algorithm 4 across environments and stabilization times."""
+    table = Table(
+        "EXP-3: EC from Omega in any environment (Algorithm 4)",
+        ["environment", "tau_Omega", "verdict", "agreement index k", "k decided at"],
+    )
+    rows: list[dict] = []
+    scenarios = [
+        ("crash-free n=4", 4, {}, 0),
+        ("crash-free n=4, churn", 4, {}, 250),
+        ("minority correct (1/3)", 3, {1: 100, 2: 140}, 0),
+        ("minority correct, churn", 5, {0: 80, 1: 80, 2: 80}, 200),
+        ("single survivor (1/4)", 4, {1: 60, 2: 60, 3: 60}, 0),
+    ]
+    for label, n, crashes, tau in scenarios:
+        pattern = FailurePattern.crash(n, crashes)
+        detector = _detector(pattern, tau_omega=tau, seed=seed)
+        procs = [
+            ProtocolStack([EcUsingOmegaLayer(), EcDriverLayer(max_instances=40)])
+            for _ in range(n)
+        ]
+        sim = Simulation(
+            procs,
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=FixedDelay(2),
+            timeout_interval=4,
+            seed=seed,
+        )
+        sim.run_until(3000)
+        report = check_ec(sim.run, expected_instances=40)
+        rows.append(
+            {
+                "environment": label,
+                "tau_omega": tau,
+                "ok": report.ok,
+                "k": report.agreement_index,
+                "k_time": report.agreement_time,
+            }
+        )
+        table.add_row(
+            label,
+            tau,
+            report.ok,
+            report.agreement_index,
+            report.agreement_time if report.agreement_time is not None else "-",
+        )
+    return ExperimentResult("ec-any-environment", table, rows)
+
+
+# ---------------------------------------------------------------------------
+# EXP-4: ETOB stabilization time vs the paper's bound (Lemma 3)
+# ---------------------------------------------------------------------------
+
+
+def exp_etob_stabilization(
+    taus: Sequence[int] = (0, 100, 200, 400), *, seed: int = 0
+) -> ExperimentResult:
+    """EXP-4: measured ETOB tau vs the proof's bound tau_Omega + Dt + Dc."""
+    n, delay, timeout = 4, 3, 4
+    table = Table(
+        "EXP-4: ETOB stabilization vs paper bound (tau_Omega + Dt + Dc)",
+        ["tau_Omega", "measured tau", "bound", "within bound", "verdict"],
+    )
+    rows: list[dict] = []
+    for tau_omega in taus:
+        broadcasts = [
+            (p, 15 + 23 * i + p, f"m{i}.{p}") for i in range(5) for p in range(n)
+        ]
+        sim = _run_broadcast_scenario(
+            "etob",
+            n=n,
+            broadcasts=broadcasts,
+            duration=max(1200, tau_omega * 3 + 600),
+            delay=delay,
+            timeout=timeout,
+            tau_omega=tau_omega,
+            seed=seed,
+        )
+        report = check_etob(sim.run)
+        # Dt: worst local timeout distance = timer interval stretched by the
+        # scheduling granularity; Dc: one network traversal. Promotion plus
+        # adoption costs one timeout + one delivery after tau_Omega.
+        bound = tau_omega + (timeout + n) + delay
+        rows.append(
+            {
+                "tau_omega": tau_omega,
+                "tau": report.tau,
+                "bound": bound,
+                "ok": report.ok,
+            }
+        )
+        table.add_row(tau_omega, report.tau, bound, report.tau <= bound, report.ok)
+    return ExperimentResult("etob-stabilization", table, rows)
+
+
+# ---------------------------------------------------------------------------
+# EXP-5: stable Omega from the start -> strong TOB (property 2 of Alg 5)
+# ---------------------------------------------------------------------------
+
+
+def exp_tob_mode(*, seed: int = 0) -> ExperimentResult:
+    """EXP-5: Algorithm 5 satisfies *strong* TOB when Omega never changes."""
+    table = Table(
+        "EXP-5: Algorithm 5 under stable Omega = strong TOB",
+        ["scenario", "strong TOB verdict", "tau"],
+    )
+    rows: list[dict] = []
+    scenarios = [
+        ("crash-free n=4", 4, {}),
+        ("one crash n=5", 5, {4: 150}),
+        ("minority correct n=5", 5, {0: 120, 1: 120, 2: 160}),
+    ]
+    for label, n, crashes in scenarios:
+        broadcasts = [(p, 10 + 37 * i + p, f"m{i}.{p}") for i in range(4) for p in range(n)]
+        broadcasts = [
+            (p, t, m)
+            for p, t, m in broadcasts
+            if p not in crashes or t < crashes[p]
+        ]
+        sim = _run_broadcast_scenario(
+            "etob",
+            n=n,
+            broadcasts=broadcasts,
+            duration=1500,
+            tau_omega=0,
+            crashes=crashes,
+            seed=seed,
+        )
+        report = check_tob(sim.run)
+        rows.append({"scenario": label, "ok": report.ok, "tau": report.etob.tau})
+        table.add_row(label, report.ok, report.etob.tau)
+    return ExperimentResult("tob-mode", table, rows)
+
+
+# ---------------------------------------------------------------------------
+# EXP-6: causal order always holds; ablation shows it is the graph's doing
+# ---------------------------------------------------------------------------
+
+
+def exp_causal(*, seed: int = 0) -> ExperimentResult:
+    """EXP-6: TOB-Causal-Order under churn; ablation without the causal graph."""
+    n = 4
+    table = Table(
+        "EXP-6: causal order during divergence (and graph ablation)",
+        ["variant", "causal violations", "pairs checked", "etob ok"],
+    )
+    rows: list[dict] = []
+    # Reply chains under heavy network reordering: each message causally
+    # depends on everything its broadcaster has seen (frontier deps), and
+    # random delays let replies overtake the messages they reply to.
+    broadcasts = [(i % n, 15 + i * 40, f"chain-{i}") for i in range(12)]
+    for variant, factory in (
+        ("Algorithm 5 (causal graph)", lambda: ProtocolStack([EtobLayer()])),
+        (
+            "ablation: arrival-order promote",
+            lambda: ProtocolStack([ArrivalOrderEtobLayer()]),
+        ),
+    ):
+        from repro.sim import UniformRandomDelay
+
+        pattern = FailurePattern.no_failures(n)
+        detector = _detector(pattern, tau_omega=350, seed=seed)
+        sim = Simulation(
+            [factory() for _ in range(n)],
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=UniformRandomDelay(2, 60, seed=seed),
+            timeout_interval=2,
+            seed=seed,
+            message_batch=4,
+        )
+        for pid, t, payload in broadcasts:
+            sim.add_input(pid, t, ("broadcast", payload))
+        sim.run_until(1800)
+        causal = check_causal_order(sim.run)
+        etob = check_etob(sim.run)
+        rows.append(
+            {
+                "variant": variant,
+                "violations": len(causal.violations),
+                "pairs": causal.pairs_checked,
+                "etob_ok": etob.ok,
+            }
+        )
+        table.add_row(variant, len(causal.violations), causal.pairs_checked, etob.ok)
+    return ExperimentResult("causal", table, rows)
+
+
+# ---------------------------------------------------------------------------
+# EXP-7: Omega is necessary — CHT extraction (Lemma 1)
+# ---------------------------------------------------------------------------
+
+
+def exp_cht_extraction(*, seed: int = 0) -> ExperimentResult:
+    """EXP-7: the distributed reduction emulates Omega from EC runs."""
+    from repro.cht import OmegaExtractionProcess, TreeBounds
+
+    def ec_factory(proposal_fn):
+        return ProtocolStack(
+            [EcUsingOmegaLayer(), EcDriverLayer(proposal_fn, max_instances=2)]
+        )
+
+    table = Table(
+        "EXP-7: CHT-style emulation of Omega from an EC algorithm",
+        ["scenario", "emulated leader", "is correct", "stabilized", "extractions"],
+    )
+    rows: list[dict] = []
+    scenarios = [
+        ("n=2, stable D, leader p1, p0 crashes", 2, {0: 60}, 0, 1, None),
+        ("n=3, churn then stable on p1", 3, {0: 100}, 120, 1, 4),
+        ("n=3, stable D, leader p2", 3, {}, 0, 2, None),
+    ]
+    for label, n, crashes, tau, leader, window in scenarios:
+        pattern = FailurePattern.crash(n, crashes)
+        detector = OmegaDetector(
+            stabilization_time=tau,
+            leader=leader,
+            pre_behavior="rotate",
+        ).history(pattern, seed=seed)
+        procs = [
+            OmegaExtractionProcess(
+                ec_factory,
+                bounds=TreeBounds(max_depth=5, max_nodes=800),
+                analyze_every=5,
+                max_samples=None if window else 8,
+                window=window,
+            )
+            for _ in range(n)
+        ]
+        sim = Simulation(
+            procs,
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=FixedDelay(2),
+            timeout_interval=4,
+            message_batch=4,
+            seed=seed,
+        )
+        sim.run_until(420)
+        finals = {procs[pid].current_leader for pid in pattern.correct}
+        stabilized = len(finals) == 1
+        emulated = next(iter(finals)) if stabilized else None
+        is_correct = emulated in pattern.correct if emulated is not None else False
+        extractions = sum(procs[pid].extractions_run for pid in pattern.correct)
+        rows.append(
+            {
+                "scenario": label,
+                "leader": emulated,
+                "correct": is_correct,
+                "stabilized": stabilized,
+                "extractions": extractions,
+            }
+        )
+        table.add_row(
+            label,
+            emulated if emulated is not None else "-",
+            is_correct,
+            stabilized,
+            extractions,
+        )
+    return ExperimentResult("cht-extraction", table, rows)
+
+
+# ---------------------------------------------------------------------------
+# EXP-8: the Sigma gap — availability without a correct majority
+# ---------------------------------------------------------------------------
+
+
+def exp_partition_gap(*, seed: int = 0) -> ExperimentResult:
+    """EXP-8: crash a majority; only Omega-only ETOB and Omega+Sigma
+    consensus stay available."""
+    n = 5
+    crashes = {0: 100, 1: 100, 2: 100}
+    table = Table(
+        "EXP-8: availability after losing the majority (3 of 5 crash at t=100)",
+        ["protocol", "detector", "delivered after crash", "available"],
+    )
+    rows: list[dict] = []
+    cases = [
+        ("etob", "majority", "Omega"),
+        ("tob-consensus", "majority", "Omega (majority quorums)"),
+        ("tob-consensus", "sigma", "Omega + Sigma"),
+    ]
+    for protocol, quorum_mode, detector_label in cases:
+        broadcasts = [(3, 200, "post-crash-1"), (4, 320, "post-crash-2")]
+        sim = _run_broadcast_scenario(
+            protocol,
+            n=n,
+            broadcasts=[(0, 10, "pre-crash")] + broadcasts,
+            duration=4000,
+            tau_omega=150,
+            crashes=crashes,
+            quorum_mode=quorum_mode,
+            seed=seed,
+        )
+        tl = extract_timeline(sim.run)
+        survivors = (3, 4)
+        delivered = sum(
+            1
+            for __, t, payload in [(p, t, m) for p, t, m in broadcasts]
+            if all(payload in payloads(tl.final_sequence(pid)) for pid in survivors)
+        )
+        available = delivered == len(broadcasts)
+        rows.append(
+            {
+                "protocol": protocol,
+                "detector": detector_label,
+                "delivered": delivered,
+                "available": available,
+            }
+        )
+        table.add_row(
+            protocol, detector_label, f"{delivered}/{len(broadcasts)}", available
+        )
+    return ExperimentResult("partition-gap", table, rows)
+
+
+# ---------------------------------------------------------------------------
+# EXP-9: EC = EIC (Theorem 3)
+# ---------------------------------------------------------------------------
+
+
+def exp_eic(*, seed: int = 0) -> ExperimentResult:
+    """EXP-9: EIC behaves per Appendix A; revisions stop after stabilization."""
+    table = Table(
+        "EXP-9: EIC (Appendix A): revisions are finite, final agreement holds",
+        ["scenario", "verdict", "revisions", "integrity index"],
+    )
+    rows: list[dict] = []
+    for label, tau in (("stable Omega", 0), ("churn until t=300", 300)):
+        n = 4
+        pattern = FailurePattern.no_failures(n)
+        detector = _detector(pattern, tau_omega=tau, seed=seed)
+        procs = [
+            ProtocolStack([EicUsingOmegaLayer(), EicDriverLayer(max_instances=40)])
+            for _ in range(n)
+        ]
+        sim = Simulation(
+            procs,
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=FixedDelay(2),
+            timeout_interval=4,
+            seed=seed,
+        )
+        sim.run_until(3000)
+        report = check_eic(sim.run, expected_instances=40)
+        rows.append(
+            {
+                "scenario": label,
+                "ok": report.ok,
+                "revisions": report.total_revisions,
+                "integrity_index": report.integrity_index,
+            }
+        )
+        table.add_row(
+            label, report.ok, report.total_revisions, report.integrity_index
+        )
+    return ExperimentResult("eic", table, rows)
+
+
+# ---------------------------------------------------------------------------
+# EXP-10: ablations — churn rate, promote period, heartbeat-Omega GST
+# ---------------------------------------------------------------------------
+
+
+def exp_ablation_churn(
+    taus: Sequence[int] = (0, 150, 300, 600), *, seed: int = 0
+) -> ExperimentResult:
+    """EXP-10a: longer churn -> longer divergence, same final agreement."""
+    n = 4
+    table = Table(
+        "EXP-10a: leader churn duration vs divergence",
+        ["tau_Omega", "divergence windows", "total divergence ticks", "final ok"],
+    )
+    rows: list[dict] = []
+    for tau in taus:
+        # Concurrent bursts under random delays: leaders promoting during the
+        # churn window hold different knowledge, so their sequences genuinely
+        # diverge until Omega stabilizes.
+        from repro.sim import UniformRandomDelay
+
+        broadcasts = [
+            (p, 15 + 60 * burst + p, f"m{burst}.{p}")
+            for burst in range(10)
+            for p in range(n)
+        ]
+        pattern = FailurePattern.no_failures(n)
+        detector = _detector(pattern, tau_omega=tau, seed=seed)
+        sim = Simulation(
+            [ProtocolStack([EtobLayer()]) for _ in range(n)],
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=UniformRandomDelay(2, 50, seed=seed),
+            timeout_interval=3,
+            seed=seed,
+            message_batch=4,
+        )
+        for pid, t, payload in broadcasts:
+            sim.add_input(pid, t, ("broadcast", payload))
+        sim.run_until(max(1500, tau * 3 + 600))
+        windows = divergence_windows(sim.run)
+        total = sum(end - start for start, end in windows)
+        report = check_etob(sim.run)
+        rows.append(
+            {
+                "tau_omega": tau,
+                "windows": len(windows),
+                "total_divergence": total,
+                "ok": report.ok,
+            }
+        )
+        table.add_row(tau, len(windows), total, report.ok)
+    return ExperimentResult("ablation-churn", table, rows)
+
+
+def exp_ablation_promote_period(
+    periods: Sequence[int] = (2, 4, 8, 16), *, seed: int = 0
+) -> ExperimentResult:
+    """EXP-10b: the leader's promote period trades chatter for latency."""
+    n, delay = 4, 30
+    table = Table(
+        "EXP-10b: promote period vs delivery latency (ETOB, stable leader)",
+        ["timeout interval", "mean latency (ticks)", "messages sent"],
+    )
+    rows: list[dict] = []
+    for period in periods:
+        broadcasts = [
+            (1 + i % (n - 1), 40 * delay + i * 6 * delay, f"m{i}") for i in range(5)
+        ]
+        sim = _run_broadcast_scenario(
+            "etob",
+            n=n,
+            broadcasts=broadcasts,
+            duration=40 * delay + 9 * 6 * delay,
+            delay=delay,
+            timeout=period,
+            tau_omega=0,
+            seed=seed,
+        )
+        report = latency_report(sim.run, delay_ticks=delay)
+        counts = message_counts(sim)
+        rows.append(
+            {
+                "period": period,
+                "mean_ticks": report.mean_ticks(),
+                "sent": counts["sent"],
+            }
+        )
+        table.add_row(
+            period,
+            report.mean_ticks() or float("nan"),
+            counts["sent"],
+        )
+    return ExperimentResult("ablation-promote-period", table, rows)
+
+
+def exp_ablation_heartbeat_gst(
+    gsts: Sequence[int] = (50, 150, 300), *, seed: int = 0
+) -> ExperimentResult:
+    """EXP-10c: the implemented (heartbeat) Omega stabilizes after GST."""
+    n = 4
+    table = Table(
+        "EXP-10c: heartbeat Omega under partial synchrony",
+        ["GST", "leader stabilized at", "final leader", "is correct"],
+    )
+    rows: list[dict] = []
+    for gst in gsts:
+        pattern = FailurePattern.crash(n, {0: gst // 2})
+        procs = [HeartbeatOmegaProcess(initial_bound=6, bound_increment=4) for _ in range(n)]
+        sim = Simulation(
+            procs,
+            failure_pattern=pattern,
+            delay_model=GstDelay(gst=gst, pre_max=40, post_delay=2, seed=seed),
+            timeout_interval=3,
+            seed=seed,
+            message_batch=4,
+        )
+        sim.run_until(gst * 3 + 600)
+        finals: dict[int, int | None] = {}
+        last_change = 0
+        for pid in pattern.correct:
+            events = sim.run.tagged_outputs(pid, "leader")
+            finals[pid] = events[-1][1][0] if events else None
+            if events:
+                last_change = max(last_change, events[-1][0])
+        agreed = len(set(finals.values())) == 1
+        final = next(iter(set(finals.values()))) if agreed else None
+        rows.append(
+            {
+                "gst": gst,
+                "stabilized_at": last_change,
+                "leader": final,
+                "correct": final in pattern.correct if final is not None else False,
+            }
+        )
+        table.add_row(
+            gst,
+            last_change,
+            final if final is not None else "-",
+            final in pattern.correct if final is not None else False,
+        )
+    return ExperimentResult("ablation-heartbeat", table, rows)
+
+
+#: registry used by the report generator and the benchmark harness.
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "EXP-1": exp_comm_steps,
+    "EXP-2": exp_equivalence,
+    "EXP-3": exp_ec_any_environment,
+    "EXP-4": exp_etob_stabilization,
+    "EXP-5": exp_tob_mode,
+    "EXP-6": exp_causal,
+    "EXP-7": exp_cht_extraction,
+    "EXP-8": exp_partition_gap,
+    "EXP-9": exp_eic,
+    "EXP-10a": exp_ablation_churn,
+    "EXP-10b": exp_ablation_promote_period,
+    "EXP-10c": exp_ablation_heartbeat_gst,
+}

@@ -1,0 +1,183 @@
+"""Metrics over run records: latency, convergence, message counts.
+
+The central quantity is *stable delivery latency in communication steps*:
+the paper claims two steps for ETOB under a stable leader and (at least)
+three for strong TOB ([22]). In the simulator a communication step is one
+network traversal of ``delay_ticks``; protocols also spend bounded local time
+waiting for timers, so the step estimate divides latency by the delay and
+rounds to the nearest integer once the timer overhead is subtracted — with
+``delay_ticks`` well above the timer interval the estimate is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Iterable
+
+from repro.core.messages import MessageId
+from repro.properties.delivery import DeliveryTimeline, extract_timeline
+from repro.sim.runs import RunRecord
+from repro.sim.scheduler import Simulation
+from repro.sim.types import ProcessId, Time
+
+
+@dataclass(frozen=True)
+class MessageLatency:
+    """Latency of one broadcast message."""
+
+    uid: MessageId
+    broadcaster: ProcessId
+    broadcast_time: Time
+    #: per correct process: time of stable delivery (None = never).
+    stable_times: dict[ProcessId, Time | None]
+
+    @property
+    def everywhere_time(self) -> Time | None:
+        """Time when the message was stably delivered at every correct process."""
+        times = list(self.stable_times.values())
+        if not times or any(t is None for t in times):
+            return None
+        return max(times)
+
+    @property
+    def latency_ticks(self) -> Time | None:
+        t = self.everywhere_time
+        return None if t is None else t - self.broadcast_time
+
+
+@dataclass
+class LatencyReport:
+    """Aggregate delivery latency of a run."""
+
+    latencies: list[MessageLatency] = field(default_factory=list)
+    delay_ticks: int = 1
+    #: per-process timer interval upper bound (local wait, not a comm step).
+    timer_ticks: int = 0
+
+    def delivered(self) -> list[MessageLatency]:
+        return [l for l in self.latencies if l.latency_ticks is not None]
+
+    @property
+    def undelivered_count(self) -> int:
+        return len(self.latencies) - len(self.delivered())
+
+    def mean_ticks(self) -> float | None:
+        done = self.delivered()
+        if not done:
+            return None
+        return mean(l.latency_ticks for l in done)
+
+    def mean_steps(self) -> float | None:
+        """Mean latency in communication steps (timer overhead subtracted)."""
+        done = self.delivered()
+        if not done:
+            return None
+        overhead = 2 * self.timer_ticks
+        steps = [
+            max(1, l.latency_ticks - overhead) / self.delay_ticks for l in done
+        ]
+        return mean(steps)
+
+    def max_steps(self) -> float | None:
+        done = self.delivered()
+        if not done:
+            return None
+        overhead = 2 * self.timer_ticks
+        return max(max(1, l.latency_ticks - overhead) / self.delay_ticks for l in done)
+
+
+def latency_report(
+    run: RunRecord,
+    *,
+    delay_ticks: int,
+    timer_ticks: int = 0,
+    correct: Iterable[ProcessId] | None = None,
+    timeline: DeliveryTimeline | None = None,
+) -> LatencyReport:
+    """Stable delivery latency of every broadcast message of a run."""
+    correct_set = sorted(
+        frozenset(correct) if correct is not None else run.failure_pattern.correct
+    )
+    tl = timeline if timeline is not None else extract_timeline(run)
+    report = LatencyReport(delay_ticks=delay_ticks, timer_ticks=timer_ticks)
+    for uid, (broadcaster, t, __) in sorted(tl.broadcasts.items()):
+        stable = {
+            pid: tl.stable_delivery_time(pid, uid) for pid in correct_set
+        }
+        report.latencies.append(
+            MessageLatency(
+                uid=uid,
+                broadcaster=broadcaster,
+                broadcast_time=t,
+                stable_times=stable,
+            )
+        )
+    return report
+
+
+def divergence_windows(
+    run: RunRecord,
+    *,
+    correct: Iterable[ProcessId] | None = None,
+    timeline: DeliveryTimeline | None = None,
+) -> list[tuple[Time, Time]]:
+    """Maximal time windows during which correct processes visibly diverged.
+
+    Two observable symptoms count as divergence:
+
+    - *order conflicts*: two processes' current sequences order a common pair
+      of messages differently (a window spans from the conflict's appearance
+      to its resolution);
+    - *non-extensive rewrites*: a process replaces its sequence with one that
+      does not extend it — evidence it had adopted a sequence that did not
+      survive (a one-tick window at the rewrite).
+
+    Overlapping windows are merged. An open conflict at the end of the run
+    closes at ``run.end_time + 1``.
+    """
+    from repro.core.sequences import is_prefix, order_consistent
+
+    correct_set = sorted(
+        frozenset(correct) if correct is not None else run.failure_pattern.correct
+    )
+    tl = timeline if timeline is not None else extract_timeline(run)
+    current: dict[ProcessId, tuple] = {pid: () for pid in correct_set}
+    raw: list[tuple[Time, Time]] = []
+    open_start: Time | None = None
+    for t, pid, sequence in tl.merged_events():
+        if pid not in current:
+            continue
+        if not is_prefix(current[pid], sequence):
+            raw.append((t, t + 1))
+        current[pid] = sequence
+        conflicted = any(
+            not order_consistent(current[a], current[b])
+            for i, a in enumerate(correct_set)
+            for b in correct_set[i + 1 :]
+        )
+        if conflicted and open_start is None:
+            open_start = t
+        elif not conflicted and open_start is not None:
+            raw.append((open_start, t))
+            open_start = None
+    if open_start is not None:
+        raw.append((open_start, run.end_time + 1))
+
+    # Merge overlapping / adjacent windows.
+    merged: list[tuple[Time, Time]] = []
+    for start, end in sorted(raw):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def message_counts(sim: Simulation) -> dict[str, int]:
+    """Network-level traffic counters of a finished simulation."""
+    return {
+        "sent": sim.network.sent_count,
+        "delivered": sim.network.delivered_count,
+        "in_transit": sim.network.in_transit(),
+    }

@@ -1,0 +1,5 @@
+"""Broadcast substrates: uniform reliable broadcast (URB)."""
+
+from repro.broadcast.urb import UrbLayer, UrbMessage
+
+__all__ = ["UrbLayer", "UrbMessage"]

@@ -1,0 +1,78 @@
+"""Uniform reliable broadcast (URB) by eager message diffusion.
+
+Guarantees, with reliable links and crash failures:
+
+- *Validity*: a correct broadcaster eventually delivers its own message;
+- *Uniform agreement*: if **any** process (even one that later crashes)
+  delivers a message, every correct process eventually delivers it;
+- *Integrity*: each message is delivered at most once, and only if broadcast.
+
+The classical eager-diffusion algorithm: on first reception, relay the message
+to everyone, and deliver it immediately. Relaying before delivering is what
+makes agreement *uniform* — by the time anyone delivers, the message is in
+transit to all.
+
+This is the dissemination substrate of the strong TOB baseline and of the
+binary-to-multivalued consensus transformation; the paper's own algorithms do
+not need it (their flooding is built in).
+
+Calls / inputs: ``("broadcast", payload)``
+Events: ``("urb-deliver", message)`` with an :class:`AppMessage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.messages import AppMessage, MessageId
+from repro.sim.errors import ProtocolError
+from repro.sim.stack import Layer, LayerContext
+from repro.sim.types import ProcessId
+
+
+@dataclass(frozen=True)
+class UrbMessage:
+    """The diffusion envelope."""
+
+    message: AppMessage
+
+
+class UrbLayer(Layer):
+    """Eager-diffusion uniform reliable broadcast, for one process."""
+
+    name = "urb"
+
+    def __init__(self) -> None:
+        self._next_seq = 0
+        #: messages already relayed (and delivered).
+        self.seen: set[MessageId] = set()
+        self.delivered_count = 0
+
+    def broadcast(self, ctx: LayerContext, payload: Any) -> AppMessage:
+        """URB-broadcast ``payload``; returns the created message."""
+        uid = MessageId(ctx.pid, self._next_seq)
+        self._next_seq += 1
+        message = AppMessage(uid, payload)
+        self._diffuse(ctx, message)
+        return message
+
+    def _diffuse(self, ctx: LayerContext, message: AppMessage) -> None:
+        if message.uid in self.seen:
+            return
+        self.seen.add(message.uid)
+        ctx.send_all(UrbMessage(message), include_self=False)
+        self.delivered_count += 1
+        ctx.emit_upper(("urb-deliver", message))
+
+    def on_call(self, ctx: LayerContext, request: Any) -> None:
+        if not (isinstance(request, tuple) and request and request[0] == "broadcast"):
+            raise ProtocolError(f"urb cannot handle call {request!r}")
+        self.broadcast(ctx, request[1])
+
+    def on_input(self, ctx: LayerContext, value: Any) -> None:
+        self.on_call(ctx, value)
+
+    def on_message(self, ctx: LayerContext, sender: ProcessId, payload: Any) -> None:
+        if isinstance(payload, UrbMessage):
+            self._diffuse(ctx, payload.message)

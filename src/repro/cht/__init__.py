@@ -1,0 +1,47 @@
+"""The CHT-style extraction of Omega from any EC algorithm (Lemma 1).
+
+The paper generalizes the Chandra-Hadzilacos-Toueg proof to eventual
+consensus: any algorithm ``A`` solving EC with a failure detector ``D`` can
+be used to *emulate* Omega. This package makes that construction executable:
+
+- :mod:`repro.cht.dag` — the ever-growing DAG of failure detector samples
+  each process maintains and gossips (Figure 1; properties (1)-(4));
+- :mod:`repro.cht.replay` — an in-vitro sandbox that deterministically
+  replays schedules of ``A`` against stimuli drawn from DAG paths;
+- :mod:`repro.cht.tree` — the simulation tree of schedules compatible with
+  DAG paths, with branching over message delivery and proposal inputs;
+- :mod:`repro.cht.tags` — k-tags and (bi)valency of tree vertices (the
+  paper's adjusted valency notion for eventual consensus);
+- :mod:`repro.cht.gadgets` — decision gadgets (forks and hooks) and their
+  deciding processes;
+- :mod:`repro.cht.extraction` — the end-to-end pure function
+  ``DAG -> extracted leader``;
+- :mod:`repro.cht.reduction` — the distributed reduction ``T(D -> Omega)``:
+  a process that runs the communication task (sample + gossip) and the
+  computation task (extraction) and outputs an emulated Omega.
+
+The paper's construction is a limit argument over infinite trees; this
+implementation explores bounded prefixes (configurable caps on DAG size,
+schedule depth and node count) and demonstrates *stabilization on finite
+prefixes*: as the DAG grows, all correct processes converge to the same
+correct extracted leader. Every structural property the proof relies on
+(DAG closure, tag monotonicity, gadget deciding-process correctness) is
+checked by the test suite on the explored portion.
+"""
+
+from repro.cht.dag import DagVertex, SampleDag
+from repro.cht.extraction import ExtractionResult, extract_leader
+from repro.cht.reduction import OmegaExtractionProcess
+from repro.cht.replay import ReplaySandbox
+from repro.cht.tree import SimulationTree, TreeBounds
+
+__all__ = [
+    "DagVertex",
+    "ExtractionResult",
+    "OmegaExtractionProcess",
+    "ReplaySandbox",
+    "SampleDag",
+    "SimulationTree",
+    "TreeBounds",
+    "extract_leader",
+]

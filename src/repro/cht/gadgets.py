@@ -1,0 +1,136 @@
+"""Decision gadgets: forks and hooks (paper, Appendix B.6).
+
+A *fork* is a bivalent vertex with two single-step extensions by the same
+process consuming the same message but observing different step parameters
+(detector value or lazily chosen proposal input), one leading to a
+``(k,0)``-valent vertex and the other to a ``(k,1)``-valent one.
+
+A *hook* is a bivalent vertex ``S`` with a child ``S' = S . e'`` such that
+applying the *same* step ``e`` to both ``S`` and ``S'`` yields opposite
+``k``-valencies.
+
+In both cases the *deciding process* — the process whose step tips the
+valency — is correct (Lemma 8 of the paper's appendix); the extraction
+outputs it as the Omega estimate. Treating the lazily-chosen proposal input
+as a step parameter mirrors footnote 2 of the paper: inputs live in
+histories, not initial configurations, so input branches are step branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cht.tree import SimulationTree, TreeNode
+from repro.sim.types import ProcessId
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """A located decision gadget."""
+
+    kind: str  # "fork" or "hook"
+    pivot: int  # node id of the bivalent vertex S
+    deciding_process: ProcessId
+    zero_child: int  # node id of the (k,0)-valent vertex
+    one_child: int  # node id of the (k,1)-valent vertex
+
+    def sort_key(self) -> tuple:
+        return (self.pivot, self.zero_child, self.one_child)
+
+
+def _child_valency(tree: SimulationTree, node: TreeNode, k: Any) -> Any | None:
+    """0, 1, or None when the node is not k-univalent."""
+    tag = tree.valency(node, k)
+    if tag == frozenset({0}):
+        return 0
+    if tag == frozenset({1}):
+        return 1
+    return None
+
+
+def _step_signature(node: TreeNode) -> tuple:
+    """Identity of the step leading into ``node``, including parameters."""
+    step = node.step
+    assert step is not None
+    return (step.pid, step.message_key(), repr(step.vertex.value), step.new_inputs)
+
+
+def _step_action(node: TreeNode) -> tuple:
+    """Identity of the step *without* its parameters (process + message)."""
+    step = node.step
+    assert step is not None
+    return (step.pid, step.message_key())
+
+
+def find_forks(tree: SimulationTree, root_id: int, k: Any) -> list[Gadget]:
+    """All forks in the subtree of ``root_id`` for instance ``k``."""
+    gadgets: list[Gadget] = []
+    for node_id in tree.subtree_ids(root_id):
+        node = tree.nodes[node_id]
+        if not tree.is_bivalent(node, k):
+            continue
+        children = [tree.nodes[c] for c in node.children]
+        by_action: dict[tuple, list[TreeNode]] = {}
+        for child in children:
+            by_action.setdefault(_step_action(child), []).append(child)
+        for siblings in by_action.values():
+            zeros = [c for c in siblings if _child_valency(tree, c, k) == 0]
+            ones = [c for c in siblings if _child_valency(tree, c, k) == 1]
+            for zero in zeros:
+                for one in ones:
+                    gadgets.append(
+                        Gadget(
+                            kind="fork",
+                            pivot=node.node_id,
+                            deciding_process=zero.step.pid,
+                            zero_child=zero.node_id,
+                            one_child=one.node_id,
+                        )
+                    )
+    return sorted(gadgets, key=Gadget.sort_key)
+
+
+def find_hooks(tree: SimulationTree, root_id: int, k: Any) -> list[Gadget]:
+    """All hooks in the subtree of ``root_id`` for instance ``k``."""
+    gadgets: list[Gadget] = []
+    for node_id in tree.subtree_ids(root_id):
+        node = tree.nodes[node_id]
+        if not tree.is_bivalent(node, k):
+            continue
+        children = {c: tree.nodes[c] for c in node.children}
+        for prime in children.values():  # S' = S . e'
+            for s_child in children.values():  # S . e
+                if s_child.node_id == prime.node_id:
+                    continue
+                v_s = _child_valency(tree, s_child, k)
+                if v_s is None:
+                    continue
+                for prime_child_id in prime.children:  # S' . e
+                    prime_child = tree.nodes[prime_child_id]
+                    if _step_signature(prime_child) != _step_signature(s_child):
+                        continue
+                    v_prime = _child_valency(tree, prime_child, k)
+                    if v_prime is None or v_prime == v_s:
+                        continue
+                    zero, one = (
+                        (s_child, prime_child) if v_s == 0 else (prime_child, s_child)
+                    )
+                    gadgets.append(
+                        Gadget(
+                            kind="hook",
+                            pivot=node.node_id,
+                            deciding_process=s_child.step.pid,
+                            zero_child=zero.node_id,
+                            one_child=one.node_id,
+                        )
+                    )
+    return sorted(gadgets, key=Gadget.sort_key)
+
+
+def smallest_gadget(tree: SimulationTree, root_id: int, k: Any) -> Gadget | None:
+    """The deterministic smallest fork-or-hook in the subtree, if any."""
+    gadgets = find_forks(tree, root_id, k) + find_hooks(tree, root_id, k)
+    if not gadgets:
+        return None
+    return min(gadgets, key=Gadget.sort_key)

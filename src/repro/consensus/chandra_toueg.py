@@ -1,0 +1,233 @@
+"""The Chandra-Toueg rotating-coordinator consensus ([3], diamond-S).
+
+The algorithm the paper cites for "Omega is sufficient for consensus with a
+correct majority" — historically stated for the eventually strong detector
+diamond-S (a suspected-set detector whose equivalence with Omega is
+classical). Included as a second, structurally different strong baseline next
+to :mod:`repro.consensus.paxos`:
+
+Round ``r`` of an instance (coordinator ``c = (r-1) mod n``):
+
+1. every participant sends its current estimate (with the round that last
+   updated it) to the coordinator;
+2. the coordinator gathers a majority of estimates and proposes the one with
+   the highest timestamp;
+3. a participant that receives the proposal adopts it (ack) and moves to the
+   next round; a participant whose detector suspects the coordinator nacks
+   and moves on;
+4. a coordinator whose proposal gathers a majority of acks reliably
+   broadcasts the decision.
+
+Safety is the classical locking argument (a decided value is locked at a
+majority with the decision round's timestamp); liveness follows once the
+detector stops suspecting some correct process and its round comes around.
+Requires a correct majority — exactly the assumption the paper's ETOB drops.
+
+Calls / inputs: ``("propose", instance, value)`` (integer instances).
+Events: ``("decide", instance, value)``.
+
+The detector value must be a suspected set (e.g.
+:class:`~repro.detectors.strong.EventuallyStrongDetector`) or a composite
+with a ``"suspects"`` component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.errors import ProtocolError
+from repro.sim.stack import Layer, LayerContext
+from repro.sim.types import ProcessId
+
+SuspectsSource = Callable[[LayerContext], frozenset] | None
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Phase 1: participant -> coordinator."""
+
+    instance: int
+    round: int
+    value: Any
+    stamp: int
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """Phase 2: coordinator -> all."""
+
+    instance: int
+    round: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class RoundAck:
+    """Phase 3: participant -> coordinator (ack or nack)."""
+
+    instance: int
+    round: int
+    ok: bool
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Phase 4: reliable broadcast of the decision."""
+
+    instance: int
+    value: Any
+
+
+@dataclass
+class _InstanceState:
+    value: Any = None
+    stamp: int = 0
+    round: int = 0
+    waiting: bool = False  # waiting for the current round's proposal
+    decided: bool = False
+    #: coordinator side: (round) -> {pid: (stamp, value)}
+    estimates: dict[int, dict[ProcessId, tuple[int, Any]]] = field(
+        default_factory=dict
+    )
+    #: coordinator side: (round) -> {pid: ok}
+    acks: dict[int, dict[ProcessId, bool]] = field(default_factory=dict)
+    #: coordinator side: rounds already proposed / concluded.
+    proposed_rounds: set[int] = field(default_factory=set)
+    closed_rounds: set[int] = field(default_factory=set)
+
+
+class ChandraTouegConsensusLayer(Layer):
+    """Rotating-coordinator consensus, for one process."""
+
+    name = "chandra-toueg"
+
+    def __init__(self, *, suspects_source: SuspectsSource = None) -> None:
+        self.suspects_source = suspects_source
+        self.instances: dict[int, _InstanceState] = {}
+        self.decisions_relayed: set[int] = set()
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _suspects(self, ctx: LayerContext) -> frozenset:
+        if self.suspects_source is not None:
+            return self.suspects_source(ctx)
+        value = ctx.fd_value
+        if isinstance(value, frozenset):
+            return value
+        return ctx.detector("suspects")
+
+    def _coordinator(self, ctx: LayerContext, round_: int) -> ProcessId:
+        return (round_ - 1) % ctx.n
+
+    def _majority(self, ctx: LayerContext) -> int:
+        return ctx.n // 2 + 1
+
+    def _state(self, instance: int) -> _InstanceState:
+        return self.instances.setdefault(instance, _InstanceState())
+
+    def _enter_round(self, ctx: LayerContext, instance: int) -> None:
+        """Advance to the next round and send phase-1 estimate."""
+        state = self._state(instance)
+        state.round += 1
+        state.waiting = True
+        ctx.send(
+            self._coordinator(ctx, state.round),
+            Estimate(instance, state.round, state.value, state.stamp),
+        )
+
+    # -- interface ------------------------------------------------------------------
+
+    def on_call(self, ctx: LayerContext, request: Any) -> None:
+        if not (isinstance(request, tuple) and request and request[0] == "propose"):
+            raise ProtocolError(f"chandra-toueg cannot handle call {request!r}")
+        __, instance, value = request
+        if not isinstance(instance, int):
+            raise ProtocolError(f"instances must be ints, got {instance!r}")
+        state = self._state(instance)
+        if state.round != 0:
+            raise ProtocolError(f"instance {instance} proposed twice")
+        state.value = value
+        self._enter_round(ctx, instance)
+
+    def on_input(self, ctx: LayerContext, value: Any) -> None:
+        self.on_call(ctx, value)
+
+    # -- message handlers --------------------------------------------------------------
+
+    def on_message(self, ctx: LayerContext, sender: ProcessId, payload: Any) -> None:
+        if isinstance(payload, Estimate):
+            self._on_estimate(ctx, sender, payload)
+        elif isinstance(payload, Proposal):
+            self._on_proposal(ctx, sender, payload)
+        elif isinstance(payload, RoundAck):
+            self._on_ack(ctx, sender, payload)
+        elif isinstance(payload, Decision):
+            self._on_decision(ctx, payload)
+
+    def _on_estimate(self, ctx: LayerContext, sender: ProcessId, msg: Estimate) -> None:
+        state = self._state(msg.instance)
+        if state.decided or msg.round in state.proposed_rounds:
+            return
+        bucket = state.estimates.setdefault(msg.round, {})
+        bucket[sender] = (msg.stamp, msg.value)
+        if len(bucket) >= self._majority(ctx):
+            state.proposed_rounds.add(msg.round)
+            __, best = max(bucket.values(), key=lambda sv: sv[0])
+            ctx.send_all(Proposal(msg.instance, msg.round, best), include_self=True)
+
+    def _on_proposal(self, ctx: LayerContext, sender: ProcessId, msg: Proposal) -> None:
+        state = self._state(msg.instance)
+        if state.decided or not state.waiting or msg.round != state.round:
+            return  # stale round, or we already nacked and moved on
+        state.value = msg.value
+        state.stamp = msg.round
+        state.waiting = False
+        ctx.send(
+            self._coordinator(ctx, msg.round), RoundAck(msg.instance, msg.round, True)
+        )
+        self._enter_round(ctx, msg.instance)
+
+    def _on_ack(self, ctx: LayerContext, sender: ProcessId, msg: RoundAck) -> None:
+        state = self._state(msg.instance)
+        if state.decided or msg.round in state.closed_rounds:
+            return
+        bucket = state.acks.setdefault(msg.round, {})
+        bucket[sender] = msg.ok
+        positives = sum(1 for ok in bucket.values() if ok)
+        negatives = sum(1 for ok in bucket.values() if not ok)
+        if positives >= self._majority(ctx):
+            state.closed_rounds.add(msg.round)
+            proposal = None
+            bucket_est = state.estimates.get(msg.round)
+            # The coordinator's proposed value for this round: recompute from
+            # the estimates it used (deterministic).
+            if bucket_est:
+                __, proposal = max(bucket_est.values(), key=lambda sv: sv[0])
+            if proposal is not None:
+                ctx.send_all(Decision(msg.instance, proposal), include_self=True)
+        elif negatives >= 1 and positives + negatives >= self._majority(ctx):
+            state.closed_rounds.add(msg.round)  # round failed; others moved on
+
+    def _on_decision(self, ctx: LayerContext, msg: Decision) -> None:
+        state = self._state(msg.instance)
+        if msg.instance not in self.decisions_relayed:
+            self.decisions_relayed.add(msg.instance)
+            ctx.send_all(Decision(msg.instance, msg.value), include_self=False)
+        if not state.decided:
+            state.decided = True
+            state.value = msg.value
+            ctx.emit_upper(("decide", msg.instance, msg.value))
+
+    # -- suspicion-driven progress ----------------------------------------------------------
+
+    def on_timeout(self, ctx: LayerContext) -> None:
+        suspects = self._suspects(ctx)
+        for instance, state in sorted(self.instances.items()):
+            if state.decided or not state.waiting or state.round == 0:
+                continue
+            coordinator = self._coordinator(ctx, state.round)
+            if coordinator in suspects:
+                state.waiting = False
+                ctx.send(coordinator, RoundAck(instance, state.round, False))
+                self._enter_round(ctx, instance)

@@ -1,0 +1,176 @@
+"""Binary-to-multivalued consensus — Mostefaoui, Raynal, Tronel [23].
+
+The paper cites [23] for turning binary EC into multivalued EC ("it is
+straightforward..."). The construction itself is about *consensus*: every
+process URB-broadcasts its (multivalued) proposal; processes then run binary
+consensus instances, one per candidate proposer index, in rounds, proposing
+``1`` for index ``i`` exactly when they have received the proposal of process
+``p_i``; the first index decided ``1`` selects the value to decide (waiting,
+if necessary, for that proposal to arrive — URB guarantees it will).
+
+We implement it faithfully on top of a *binary* strong consensus layer (e.g.
+Paxos restricted to {0, 1}); rounds repeat until some index decides 1, which
+must eventually happen because once URB delivers some proposal everywhere,
+everyone proposes 1 for that index and binary validity forbids deciding 0.
+
+Binary sub-instances are numbered consecutively: multivalued instance ``l``,
+round ``r``, index ``i`` maps to a single global counter advanced in
+lockstep, which is correct here because strong consensus keeps all processes'
+round progressions identical. (This lockstep is exactly what *eventual*
+consensus cannot offer — the reason the paper's EC is defined multivalued
+outright; see DESIGN.md.)
+
+Calls / inputs: ``("propose", instance, value)`` with integer instances,
+arbitrary values.
+Events: ``("decide", instance, value)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.messages import AppMessage, MessageId
+from repro.sim.errors import ProtocolError
+from repro.sim.stack import Layer, LayerContext
+from repro.sim.types import ProcessId
+
+
+@dataclass(frozen=True)
+class ProposalAnnounce:
+    """URB-style diffusion of one process's multivalued proposal."""
+
+    message: AppMessage  # payload = ("mv-proposal", instance, value)
+
+
+@dataclass
+class _InstanceState:
+    """Progress of one multivalued instance at one process."""
+
+    value: Any = None
+    proposed: bool = False
+    round: int = 0
+    index: int = 0
+    bin_outstanding: bool = False
+    decided: bool = False
+    awaiting_value_of: ProcessId | None = None
+    bits: dict[tuple[int, int], int] = field(default_factory=dict)
+
+
+class MultivaluedConsensusLayer(Layer):
+    """[23] over a binary consensus layer, for one process."""
+
+    name = "multivalued"
+
+    def __init__(self) -> None:
+        self._next_seq = 0
+        #: (instance, proposer) -> proposed value, learned through diffusion.
+        self.known_proposals: dict[tuple[int, ProcessId], Any] = {}
+        self._relayed: set[MessageId] = set()
+        self.instances: dict[int, _InstanceState] = {}
+        #: global counter of binary sub-instances already allocated.
+        self._bin_counter = 0
+        #: maps binary instance id -> (mv instance, round, index).
+        self._bin_meaning: dict[int, tuple[int, int, int]] = {}
+        #: every binary decision seen, including ones that arrive before this
+        #: process allocates the sub-instance (a lagging process learns
+        #: decisions of instances it has not proposed in yet).
+        self._bin_decisions: dict[int, int] = {}
+
+    # -- proposal diffusion ------------------------------------------------------
+
+    def _diffuse(self, ctx: LayerContext, message: AppMessage) -> None:
+        if message.uid in self._relayed:
+            return
+        self._relayed.add(message.uid)
+        tag, instance, value = message.payload
+        assert tag == "mv-proposal"
+        self.known_proposals[(instance, message.uid.sender)] = value
+        ctx.send_all(ProposalAnnounce(message), include_self=False)
+
+    def on_call(self, ctx: LayerContext, request: Any) -> None:
+        if not (isinstance(request, tuple) and request and request[0] == "propose"):
+            raise ProtocolError(f"multivalued cannot handle call {request!r}")
+        __, instance, value = request
+        state = self.instances.setdefault(instance, _InstanceState())
+        if state.proposed:
+            raise ProtocolError(f"instance {instance} proposed twice")
+        state.value = value
+        state.proposed = True
+        uid = MessageId(ctx.pid, self._next_seq)
+        self._next_seq += 1
+        self._diffuse(ctx, AppMessage(uid, ("mv-proposal", instance, value)))
+        self._advance(ctx, instance)
+
+    def on_input(self, ctx: LayerContext, value: Any) -> None:
+        self.on_call(ctx, value)
+
+    def on_message(self, ctx: LayerContext, sender: ProcessId, payload: Any) -> None:
+        if isinstance(payload, ProposalAnnounce):
+            self._diffuse(ctx, payload.message)
+            # A missing value we were waiting on may have arrived.
+            for instance in sorted(self.instances):
+                self._maybe_finish(ctx, instance)
+
+    # -- binary sub-instance machinery ----------------------------------------------
+
+    def _advance(self, ctx: LayerContext, instance: int) -> None:
+        """Propose the next binary sub-instance of ``instance`` if idle."""
+        state = self.instances[instance]
+        if not state.proposed or state.decided or state.bin_outstanding:
+            return
+        if state.awaiting_value_of is not None:
+            return  # index already selected; waiting for the value to arrive
+        bin_id = self._bin_counter
+        self._bin_counter += 1
+        self._bin_meaning[bin_id] = (instance, state.round, state.index)
+        bit = 1 if (instance, state.index) in self.known_proposals else 0
+        state.bin_outstanding = True
+        ctx.call_lower(("propose", bin_id, bit))
+        if bin_id in self._bin_decisions:
+            # Its decision raced ahead of our allocation.
+            self._handle_bit(ctx, bin_id, self._bin_decisions[bin_id])
+
+    def on_lower_event(self, ctx: LayerContext, event: Any) -> None:
+        if not (isinstance(event, tuple) and event and event[0] == "decide"):
+            return
+        __, bin_id, bit = event
+        self._bin_decisions[bin_id] = bit
+        if bin_id in self._bin_meaning:
+            self._handle_bit(ctx, bin_id, bit)
+
+    def _handle_bit(self, ctx: LayerContext, bin_id: int, bit: int) -> None:
+        instance, round_, index = self._bin_meaning[bin_id]
+        state = self.instances.get(instance)
+        if state is None or state.decided:
+            return
+        if (round_, index) in state.bits:
+            return
+        state.bits[(round_, index)] = bit
+        state.bin_outstanding = False
+        if bit == 1:
+            state.awaiting_value_of = index
+            self._maybe_finish(ctx, instance)
+        else:
+            state.index += 1
+            if state.index >= ctx.n:
+                state.index = 0
+                state.round += 1
+            self._advance(ctx, instance)
+
+    def _maybe_finish(self, ctx: LayerContext, instance: int) -> None:
+        state = self.instances.get(instance)
+        if state is None or state.decided or state.awaiting_value_of is None:
+            return
+        value = self.known_proposals.get((instance, state.awaiting_value_of))
+        if value is None:
+            return  # URB will deliver it eventually
+        state.decided = True
+        ctx.emit_upper(("decide", instance, value))
+
+    def on_timeout(self, ctx: LayerContext) -> None:
+        # Re-kick any instance that is idle (e.g. proposal arrived before
+        # attach or the lower layer lost interest); operations are idempotent.
+        for instance in sorted(self.instances):
+            self._maybe_finish(ctx, instance)
+            self._advance(ctx, instance)

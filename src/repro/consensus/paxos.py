@@ -1,0 +1,285 @@
+"""Multi-instance Paxos synod with an Omega-driven proposer.
+
+This is the strong-consistency baseline of the experiments. Safety is
+classical Paxos; liveness comes from Omega: the process that trusts itself
+leader runs phase 1 once (a window prepare covering all instances) and then
+drives phase 2 per instance, retrying with a higher ballot when pre-empted.
+
+Quorums are pluggable:
+
+- ``"majority"`` — sets of more than ``n/2`` processes; pairwise intersection
+  is automatic, but liveness requires a correct majority (this is exactly the
+  assumption the paper's ETOB avoids);
+- ``"sigma"`` — a set counts as a quorum when it contains the current output
+  of the Sigma failure detector; intersection is Sigma's perpetual property
+  and liveness follows from Sigma's eventual accuracy, so consensus works in
+  **any** environment where Sigma is available (the paper's Omega + Sigma
+  configuration).
+
+Steps with a stable leader (the three communication steps the paper credits
+to strong consistency): proposer forwards its value to the leader (1), the
+leader sends ``accept`` (2), acceptors send ``accepted`` to all (3) — decide.
+
+Calls / inputs: ``("propose", instance, value)`` with integer instances.
+Events: ``("decide", instance, value)`` for every instance whose decision this
+process learns (not only instances it proposed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.ec import OmegaSource
+from repro.sim.errors import ProtocolError
+from repro.sim.stack import Layer, LayerContext
+from repro.sim.types import ProcessId
+
+Ballot = tuple[int, int]  # (epoch, proposer pid); lexicographic order
+
+NO_BALLOT: Ballot = (-1, -1)
+
+
+@dataclass(frozen=True)
+class Forward:
+    """A proposal forwarded to everyone so any (future) leader has candidates."""
+
+    instance: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase-1a: window prepare covering every instance."""
+
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase-1b: promise plus all previously accepted (instance, ballot, value)."""
+
+    ballot: Ballot
+    accepted: tuple[tuple[int, Ballot, Any], ...]
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase-2a."""
+
+    ballot: Ballot
+    instance: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class AcceptedMsg:
+    """Phase-2b, sent to every process (all processes are learners)."""
+
+    ballot: Ballot
+    instance: int
+    value: Any
+
+
+class PaxosConsensusLayer(Layer):
+    """Multi-instance Paxos for one process."""
+
+    name = "paxos"
+
+    #: initial ticks without progress before the leader escalates its ballot;
+    #: doubles on every escalation (covers arbitrary unknown round trips) and
+    #: resets on every decision.
+    INITIAL_PATIENCE = 32
+
+    def __init__(
+        self,
+        *,
+        quorum_mode: str = "majority",
+        omega_source: OmegaSource = None,
+    ) -> None:
+        if quorum_mode not in ("majority", "sigma"):
+            raise ValueError(f"unknown quorum mode {quorum_mode!r}")
+        self.quorum_mode = quorum_mode
+        self.omega_source = omega_source
+
+        # acceptor state
+        self.promised: Ballot = NO_BALLOT
+        self.accepted: dict[int, tuple[Ballot, Any]] = {}
+
+        # proposer state
+        self.my_ballot: Ballot | None = None
+        self.prepared = False
+        self._promises: dict[ProcessId, tuple[tuple[int, Ballot, Any], ...]] = {}
+        self._constrained: dict[int, tuple[Ballot, Any]] = {}
+        self._patience = self.INITIAL_PATIENCE
+        self._phase_started = 0
+        self._was_leader = False
+        self.max_epoch_seen = 0
+
+        # shared state
+        self.my_proposals: dict[int, Any] = {}
+        self.candidates: dict[int, dict[ProcessId, Any]] = {}
+        self._accept_acks: dict[tuple[Ballot, int], set[ProcessId]] = {}
+        self._accepts_sent: set[tuple[Ballot, int]] = set()
+        self.decided: dict[int, Any] = {}
+
+    # -- quorums -------------------------------------------------------------------
+
+    def _is_quorum(self, ctx: LayerContext, members: set[ProcessId]) -> bool:
+        if self.quorum_mode == "majority":
+            return len(members) > ctx.n // 2
+        return ctx.sigma() <= members
+
+    def _omega(self, ctx: LayerContext) -> ProcessId:
+        if self.omega_source is not None:
+            return self.omega_source(ctx)
+        return ctx.omega()
+
+    # -- interface -------------------------------------------------------------------
+
+    def on_call(self, ctx: LayerContext, request: Any) -> None:
+        if not (isinstance(request, tuple) and request and request[0] == "propose"):
+            raise ProtocolError(f"paxos cannot handle call {request!r}")
+        __, instance, value = request
+        if not isinstance(instance, int):
+            raise ProtocolError(f"paxos instances must be ints, got {instance!r}")
+        self.my_proposals.setdefault(instance, value)
+        self.candidates.setdefault(instance, {})[ctx.pid] = value
+        ctx.send_all(Forward(instance, value), include_self=False)
+        if self.prepared and self._omega(ctx) == ctx.pid:
+            self._drive_instances(ctx)
+
+    def on_input(self, ctx: LayerContext, value: Any) -> None:
+        self.on_call(ctx, value)
+
+    # -- message handlers ----------------------------------------------------------------
+
+    def on_message(self, ctx: LayerContext, sender: ProcessId, payload: Any) -> None:
+        if isinstance(payload, Forward):
+            self.candidates.setdefault(payload.instance, {})[sender] = payload.value
+            if self.prepared and self._omega(ctx) == ctx.pid:
+                # A stable, prepared leader accepts new proposals immediately,
+                # giving the canonical three-step decision latency.
+                self._drive_instances(ctx)
+        elif isinstance(payload, Prepare):
+            self.max_epoch_seen = max(self.max_epoch_seen, payload.ballot[0])
+            if payload.ballot > self.promised:
+                self.promised = payload.ballot
+                entries = tuple(
+                    (inst, ballot, value)
+                    for inst, (ballot, value) in sorted(self.accepted.items())
+                )
+                ctx.send(sender, Promise(payload.ballot, entries))
+        elif isinstance(payload, Promise):
+            self._on_promise(ctx, sender, payload)
+        elif isinstance(payload, Accept):
+            self.max_epoch_seen = max(self.max_epoch_seen, payload.ballot[0])
+            if payload.ballot >= self.promised:
+                self.promised = payload.ballot
+                already = self.accepted.get(payload.instance)
+                if already == (payload.ballot, payload.value):
+                    return  # duplicate accept; the acknowledgement is in flight
+                self.accepted[payload.instance] = (payload.ballot, payload.value)
+                ctx.send_all(
+                    AcceptedMsg(payload.ballot, payload.instance, payload.value),
+                    include_self=True,
+                )
+        elif isinstance(payload, AcceptedMsg):
+            self._on_accepted(ctx, sender, payload)
+
+    def _on_promise(self, ctx: LayerContext, sender: ProcessId, msg: Promise) -> None:
+        if self.prepared or msg.ballot != self.my_ballot:
+            return
+        self._promises[sender] = msg.accepted
+        if self._is_quorum(ctx, set(self._promises)):
+            self.prepared = True
+            self._constrained = {}
+            for entries in self._promises.values():
+                for inst, ballot, value in entries:
+                    current = self._constrained.get(inst)
+                    if current is None or ballot > current[0]:
+                        self._constrained[inst] = (ballot, value)
+            self._drive_instances(ctx)
+
+    def _on_accepted(self, ctx: LayerContext, sender: ProcessId, msg: AcceptedMsg) -> None:
+        if msg.instance in self.decided:
+            return
+        key = (msg.ballot, msg.instance)
+        acks = self._accept_acks.setdefault(key, set())
+        acks.add(sender)
+        if self._is_quorum(ctx, acks):
+            self.decided[msg.instance] = msg.value
+            self._patience = self.INITIAL_PATIENCE
+            self._phase_started = -1  # restart the clock at the next timeout
+            ctx.emit_upper(("decide", msg.instance, msg.value))
+
+    # -- leader duties ----------------------------------------------------------------------
+
+    def _undecided_instances(self) -> list[int]:
+        known = set(self.my_proposals) | set(self.candidates) | set(self._constrained)
+        return sorted(inst for inst in known if inst not in self.decided)
+
+    def _value_for(self, instance: int) -> Any | None:
+        constrained = self._constrained.get(instance)
+        if constrained is not None:
+            return constrained[1]
+        if instance in self.my_proposals:
+            return self.my_proposals[instance]
+        candidates = self.candidates.get(instance)
+        if candidates:
+            return candidates[min(candidates)]
+        return None
+
+    def _start_prepare(self, ctx: LayerContext) -> None:
+        epoch = self.max_epoch_seen + 1
+        self.my_ballot = (epoch, ctx.pid)
+        self.max_epoch_seen = epoch
+        self.prepared = False
+        self._promises = {}
+        self._phase_started = ctx.time
+        ctx.send_all(Prepare(self.my_ballot), include_self=True)
+
+    def _drive_instances(self, ctx: LayerContext) -> None:
+        assert self.my_ballot is not None
+        for instance in self._undecided_instances():
+            key = (self.my_ballot, instance)
+            if key in self._accepts_sent:
+                continue  # already in flight under this ballot
+            value = self._value_for(instance)
+            if value is not None:
+                self._accepts_sent.add(key)
+                ctx.send_all(Accept(self.my_ballot, instance, value), include_self=True)
+
+    def _stalled(self, ctx: LayerContext) -> bool:
+        """No progress for longer than the (backing-off) patience window."""
+        if self._phase_started < 0:
+            self._phase_started = ctx.time
+            return False
+        return ctx.time - self._phase_started > self._patience
+
+    def _escalate(self, ctx: LayerContext) -> None:
+        self._patience *= 2
+        self._start_prepare(ctx)
+
+    def on_timeout(self, ctx: LayerContext) -> None:
+        if self._omega(ctx) != ctx.pid:
+            self._was_leader = False
+            return
+        if not self._was_leader:
+            # Just (re)gained leadership: run phase 1 afresh — acceptors may
+            # have promised a higher ballot in the meantime.
+            self._was_leader = True
+            self._start_prepare(ctx)
+            return
+        if not self.prepared:
+            if self._stalled(ctx):
+                self._escalate(ctx)
+            return
+        pending = self._undecided_instances()
+        if pending:
+            if self._stalled(ctx):
+                self._escalate(ctx)
+                return
+            self._drive_instances(ctx)
+        else:
+            self._phase_started = ctx.time

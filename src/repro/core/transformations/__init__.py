@@ -1,0 +1,28 @@
+"""The paper's transformations between abstractions.
+
+- Algorithm 1: :class:`~repro.core.transformations.ec_to_etob.EcToEtobLayer`
+  builds ETOB from any EC implementation (Theorem 1, first direction).
+- Algorithm 2: :class:`~repro.core.transformations.etob_to_ec.EtobToEcLayer`
+  builds EC from any ETOB implementation (Theorem 1, second direction).
+- Algorithm 6: :class:`~repro.core.transformations.ec_to_eic.EcToEicLayer`
+  builds EIC from EC (Theorem 3, first direction).
+- Algorithm 7: :class:`~repro.core.transformations.eic_to_ec.EicToEcLayer`
+  builds EC from EIC (Theorem 3, second direction).
+
+Each transformation is a :class:`~repro.sim.stack.Layer` placed directly above
+a layer implementing the source abstraction; the resulting stack implements
+the target abstraction and can be checked with the corresponding property
+checker — or stacked again (e.g. EC -> ETOB -> EC round trips).
+"""
+
+from repro.core.transformations.ec_to_eic import EcToEicLayer
+from repro.core.transformations.ec_to_etob import EcToEtobLayer
+from repro.core.transformations.eic_to_ec import EicToEcLayer
+from repro.core.transformations.etob_to_ec import EtobToEcLayer
+
+__all__ = [
+    "EcToEicLayer",
+    "EcToEtobLayer",
+    "EicToEcLayer",
+    "EtobToEcLayer",
+]

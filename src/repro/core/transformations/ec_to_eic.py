@@ -1,0 +1,65 @@
+"""Algorithm 6: transformation from EC to EIC.
+
+``proposeEIC_l(v)`` proposes, in EC instance ``l``, the process's current
+decision *sequence* with ``v`` appended. Whenever an EC response differs from
+the locally recorded decision sequence at some position ``k``, the
+transformation (re-)responds to instance ``k`` with the new value — these are
+the EIC revocations, and they cease once EC responses stabilize.
+
+Instances are 1-based integers; position ``k`` (0-based) of the decision
+sequence holds the response to ``proposeEIC_{k+1}``.
+
+Calls / inputs: ``("propose", instance, value)``
+Events: ``("decide", instance, value)`` — repeated emissions for one instance
+are revisions (the last emitted value is the current response).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.errors import ProtocolError
+from repro.sim.stack import Layer, LayerContext
+from repro.sim.types import ProcessId
+
+
+class EcToEicLayer(Layer):
+    """Algorithm 6 (``T_EC->EIC``), for one process."""
+
+    name = "ec-to-eic"
+
+    def __init__(self) -> None:
+        #: ``decision_i``: the sequence of values currently decided.
+        self.decision: list[Any] = []
+        #: diagnostic: number of revisions emitted.
+        self.revisions = 0
+
+    def on_call(self, ctx: LayerContext, request: Any) -> None:
+        # On invocation of proposeEIC_l(v): proposeEC_l(decision_i . v).
+        if not (isinstance(request, tuple) and request and request[0] == "propose"):
+            raise ProtocolError(f"ec-to-eic cannot handle call {request!r}")
+        __, instance, value = request
+        ctx.call_lower(("propose", instance, tuple(self.decision) + (value,)))
+
+    def on_input(self, ctx: LayerContext, value: Any) -> None:
+        self.on_call(ctx, value)
+
+    def on_lower_event(self, ctx: LayerContext, event: Any) -> None:
+        # On reception of decision as response of proposeEC_l:
+        #   for k from 0 to l: if decision[k] != decision_i[k]:
+        #     DecideEIC(k, decision[k]);
+        #   decision_i := decision.
+        if not (isinstance(event, tuple) and event and event[0] == "decide"):
+            return
+        __, __, decided = event
+        decided_list = list(decided)
+        for k, value in enumerate(decided_list):
+            if k >= len(self.decision):
+                ctx.emit_upper(("decide", k + 1, value))
+            elif self.decision[k] != value:
+                self.revisions += 1
+                ctx.emit_upper(("decide", k + 1, value))
+        self.decision = decided_list
+
+    def on_message(self, ctx: LayerContext, sender: ProcessId, payload: Any) -> None:
+        pass  # this transformation sends no messages of its own

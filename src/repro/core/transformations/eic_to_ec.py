@@ -1,0 +1,57 @@
+"""Algorithm 7: transformation from EIC to EC.
+
+Proposals pass straight through to the EIC layer below; only the *first*
+response to the *current* instance is forwarded up as the EC decision —
+revocations of past instances (and late revisions of the current one) are
+swallowed, restoring EC-Integrity.
+
+Calls / inputs: ``("propose", instance, value)``
+Events: ``("decide", instance, value)``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.sim.errors import ProtocolError
+from repro.sim.stack import Layer, LayerContext
+from repro.sim.types import ProcessId
+
+
+class EicToEcLayer(Layer):
+    """Algorithm 7 (``T_EIC->EC``), for one process."""
+
+    name = "eic-to-ec"
+
+    def __init__(self) -> None:
+        #: ``count_i``: the instance currently being decided.
+        self.count: Hashable | None = None
+        #: instances already responded to (only the first response counts).
+        self.responded: set[Hashable] = set()
+        #: diagnostic: responses dropped because they were stale or revisions.
+        self.suppressed = 0
+
+    def on_call(self, ctx: LayerContext, request: Any) -> None:
+        # On invocation of proposeEC_l(v): count_i := l; proposeEIC_l(v).
+        if not (isinstance(request, tuple) and request and request[0] == "propose"):
+            raise ProtocolError(f"eic-to-ec cannot handle call {request!r}")
+        self.count = request[1]
+        ctx.call_lower(request)
+
+    def on_input(self, ctx: LayerContext, value: Any) -> None:
+        self.on_call(ctx, value)
+
+    def on_lower_event(self, ctx: LayerContext, event: Any) -> None:
+        # On reception of v as response of proposeEIC_l:
+        #   if count_i = l then DecideEC(l, v).
+        if not (isinstance(event, tuple) and event and event[0] == "decide"):
+            return
+        __, instance, value = event
+        if instance == self.count and instance not in self.responded:
+            self.responded.add(instance)
+            ctx.emit_upper(("decide", instance, value))
+        else:
+            self.suppressed += 1
+
+    def on_message(self, ctx: LayerContext, sender: ProcessId, payload: Any) -> None:
+        pass  # this transformation sends no messages of its own

@@ -1,0 +1,88 @@
+"""Algorithm 2: transformation from ETOB to EC.
+
+To propose in EC instance ``l``, broadcast the pair ``(l, v)`` through the
+ETOB layer below; on local timeout, if the delivered sequence contains a
+message for the current instance, respond with the value of the *first* such
+message. Eventual total order makes the first-(l, *)-message eventually
+identical at all correct processes, which yields EC-Agreement from some
+instance on.
+
+Sits above any layer with the ETOB interface (``("broadcast", payload)``
+calls, ``("deliver", seq)`` events): :class:`~repro.core.etob.EtobLayer` or
+:class:`~repro.core.transformations.ec_to_etob.EcToEtobLayer`.
+
+Calls / inputs: ``("propose", instance, value)``
+Events: ``("decide", instance, value)``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.core.messages import AppMessage
+from repro.sim.errors import ProtocolError
+from repro.sim.stack import Layer, LayerContext
+from repro.sim.types import ProcessId
+
+#: Payload marker for EC proposals travelling through the ETOB layer.
+EC_PROPOSAL_TAG = "ec-proposal"
+
+
+class EtobToEcLayer(Layer):
+    """Algorithm 2 (``T_ETOB->EC``), for one process."""
+
+    name = "etob-to-ec"
+
+    def __init__(self) -> None:
+        #: ``count_i``: the instance currently being decided.
+        self.count: Hashable | None = None
+        #: ``d_i``: the sequence currently output by the ETOB primitive.
+        self.delivered: tuple[AppMessage, ...] = ()
+        #: instances already responded to.
+        self.decided: set[Hashable] = set()
+
+    # -- functions of Algorithm 2 ----------------------------------------------
+
+    def _first(self, instance: Hashable) -> Any | None:
+        """``First(l)``: value of the first ``(l, *)`` message in ``d_i``."""
+        for message in self.delivered:
+            payload = message.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 3
+                and payload[0] == EC_PROPOSAL_TAG
+                and payload[1] == instance
+            ):
+                return payload[2]
+        return None
+
+    # -- handlers (Algorithm 2, clause by clause) ---------------------------------
+
+    def on_call(self, ctx: LayerContext, request: Any) -> None:
+        # On invocation of proposeEC_l(v): count_i := l; broadcastETOB((l, v)).
+        if not (isinstance(request, tuple) and request and request[0] == "propose"):
+            raise ProtocolError(f"etob-to-ec cannot handle call {request!r}")
+        __, instance, value = request
+        self.count = instance
+        ctx.call_lower(("broadcast", (EC_PROPOSAL_TAG, instance, value)))
+
+    def on_input(self, ctx: LayerContext, value: Any) -> None:
+        self.on_call(ctx, value)
+
+    def on_lower_event(self, ctx: LayerContext, event: Any) -> None:
+        if isinstance(event, tuple) and event and event[0] == "deliver":
+            self.delivered = event[1]
+
+    def on_message(self, ctx: LayerContext, sender: ProcessId, payload: Any) -> None:
+        pass  # this transformation sends no messages of its own
+
+    def on_timeout(self, ctx: LayerContext) -> None:
+        # On local timeout: if First(count_i) != bottom,
+        # DecideEC(count_i, First(count_i)).
+        instance = self.count
+        if instance is None or instance in self.decided:
+            return
+        value = self._first(instance)
+        if value is not None:
+            self.decided.add(instance)
+            ctx.emit_upper(("decide", instance, value))

@@ -1,0 +1,55 @@
+"""Failure detectors (paper, Section 2).
+
+A failure detector ``D`` maps every failure pattern ``F`` to a set of
+histories ``H : Pi x N -> R``; ``H(p, t)`` is the value output by the module
+of process ``p`` at time ``t``. This package provides:
+
+- the abstract interfaces (:mod:`repro.detectors.base`);
+- oracle histories generated from the failure pattern for the detectors used
+  in the paper: Omega (eventual leader), Sigma (quorums), P / diamond-P
+  (perfect / eventually perfect), S / diamond-S (strong / eventually strong);
+- scripted histories for adversarial experiments and the CHT construction;
+- composite histories combining several detectors (e.g. Omega + Sigma);
+- an *implemented* Omega built from heartbeats under partial synchrony
+  (:mod:`repro.detectors.heartbeat`), demonstrating that the oracle is
+  realizable once the network stabilizes.
+"""
+
+from repro.detectors.base import FailureDetector, FailureDetectorHistory
+from repro.detectors.composite import CompositeDetector, CompositeHistory
+from repro.detectors.omega import OmegaDetector, OmegaHistory
+from repro.detectors.perfect import (
+    EventuallyPerfectDetector,
+    EventuallyPerfectHistory,
+    PerfectDetector,
+    PerfectHistory,
+)
+from repro.detectors.scripted import ScriptedHistory, TableHistory
+from repro.detectors.sigma import SigmaDetector, SigmaHistory
+from repro.detectors.strong import (
+    EventuallyStrongDetector,
+    EventuallyStrongHistory,
+    StrongDetector,
+    StrongHistory,
+)
+
+__all__ = [
+    "CompositeDetector",
+    "CompositeHistory",
+    "EventuallyPerfectDetector",
+    "EventuallyPerfectHistory",
+    "EventuallyStrongDetector",
+    "EventuallyStrongHistory",
+    "FailureDetector",
+    "FailureDetectorHistory",
+    "OmegaDetector",
+    "OmegaHistory",
+    "PerfectDetector",
+    "PerfectHistory",
+    "ScriptedHistory",
+    "SigmaDetector",
+    "SigmaHistory",
+    "StrongDetector",
+    "StrongHistory",
+    "TableHistory",
+]

@@ -1,0 +1,58 @@
+"""Abstract failure detector interfaces."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.sim.failures import FailurePattern
+from repro.sim.types import ProcessId, Time
+
+
+class FailureDetectorHistory(abc.ABC):
+    """One history ``H``: the value each process would see at each time."""
+
+    @abc.abstractmethod
+    def query(self, pid: ProcessId, t: Time) -> Any:
+        """The value output by ``pid``'s detector module at time ``t``."""
+
+    def sample_range(
+        self, pid: ProcessId, start: Time, end: Time
+    ) -> list[tuple[Time, Any]]:
+        """Convenience: the history values of ``pid`` over ``[start, end)``."""
+        return [(t, self.query(pid, t)) for t in range(start, end)]
+
+
+class FailureDetector(abc.ABC):
+    """A detector ``D``: a factory of histories for a failure pattern.
+
+    The paper's ``D(F)`` is a *set* of histories; ``history(pattern, seed)``
+    picks one member deterministically per seed, so experiments can sweep
+    adversarial choices while staying reproducible.
+    """
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def history(
+        self, pattern: FailurePattern, *, seed: int = 0
+    ) -> FailureDetectorHistory:
+        """A history in ``D(pattern)``, chosen deterministically by ``seed``."""
+
+    def detector_name(self) -> str:
+        return self.name or type(self).__name__
+
+
+def stable_hash(*parts: Any) -> int:
+    """A deterministic 63-bit hash of the given parts.
+
+    ``hash()`` is randomized per interpreter run for strings; detector
+    histories must instead be pure functions of ``(pattern, seed, pid, t)``,
+    so adversarial pre-stabilization behaviours use this helper.
+    """
+    acc = 1469598103934665603  # FNV-1a offset basis
+    for part in parts:
+        for byte in repr(part).encode():
+            acc ^= byte
+            acc = (acc * 1099511628211) % (1 << 63)
+    return acc

@@ -1,0 +1,44 @@
+"""Composite detectors: several detectors queried together.
+
+The paper compares Omega against Omega + Sigma; a composite history returns a
+mapping ``{name: value}`` per query, and :meth:`repro.sim.context.Context.omega`
+/ ``sigma`` pull out the named components.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.detectors.base import FailureDetector, FailureDetectorHistory
+from repro.sim.failures import FailurePattern
+from repro.sim.types import ProcessId, Time
+
+
+class CompositeHistory(FailureDetectorHistory):
+    """Queries several histories and returns ``{name: value}``."""
+
+    def __init__(self, components: Mapping[str, FailureDetectorHistory]) -> None:
+        if not components:
+            raise ValueError("composite history needs at least one component")
+        self.components = dict(components)
+
+    def query(self, pid: ProcessId, t: Time) -> dict[str, Any]:
+        return {name: hist.query(pid, t) for name, hist in self.components.items()}
+
+
+class CompositeDetector(FailureDetector):
+    """Factory of composite histories, one component detector per name."""
+
+    def __init__(self, components: Mapping[str, FailureDetector]) -> None:
+        if not components:
+            raise ValueError("composite detector needs at least one component")
+        self.components = dict(components)
+        self.name = "+".join(d.detector_name() for d in self.components.values())
+
+    def history(self, pattern: FailurePattern, *, seed: int = 0) -> CompositeHistory:
+        return CompositeHistory(
+            {
+                name: det.history(pattern, seed=seed)
+                for name, det in self.components.items()
+            }
+        )

@@ -1,0 +1,58 @@
+"""Scripted detector histories for adversarial experiments and the CHT harness."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.detectors.base import FailureDetectorHistory
+from repro.sim.types import ProcessId, Time
+
+
+class ScriptedHistory(FailureDetectorHistory):
+    """A history defined by an arbitrary function ``(pid, t) -> value``.
+
+    The function must be deterministic; it is the experimenter's
+    responsibility that the scripted history actually belongs to the detector
+    class being modelled (the property checkers in ``repro.properties`` can
+    verify Omega- and Sigma-ness of a sampled history).
+    """
+
+    def __init__(self, fn: Callable[[ProcessId, Time], Any]) -> None:
+        self._fn = fn
+
+    def query(self, pid: ProcessId, t: Time) -> Any:
+        return self._fn(pid, t)
+
+
+class TableHistory(FailureDetectorHistory):
+    """A history given by an explicit table with a default value.
+
+    Lookup order: exact ``(pid, t)`` entry, then the entry with the largest
+    ``t' <= t`` for this pid (histories are usually piecewise constant), then
+    the default.
+    """
+
+    def __init__(
+        self,
+        table: Mapping[tuple[ProcessId, Time], Any],
+        *,
+        default: Any = None,
+    ) -> None:
+        self._exact = dict(table)
+        self._by_pid: dict[ProcessId, list[tuple[Time, Any]]] = {}
+        for (pid, t), value in sorted(table.items()):
+            self._by_pid.setdefault(pid, []).append((t, value))
+        self.default = default
+
+    def query(self, pid: ProcessId, t: Time) -> Any:
+        if (pid, t) in self._exact:
+            return self._exact[(pid, t)]
+        best = None
+        for entry_t, value in self._by_pid.get(pid, []):
+            if entry_t <= t:
+                best = value
+            else:
+                break
+        if best is not None:
+            return best
+        return self.default

@@ -1,0 +1,52 @@
+"""Executable versions of the paper's specifications.
+
+Every property in Section 3 (and Appendix A) of the paper is implemented as a
+function from a :class:`~repro.sim.runs.RunRecord` to a structured report:
+
+- :mod:`repro.properties.etob_checker` — TOB-Validity/No-creation/
+  No-duplication/Agreement plus ETOB-Stability and ETOB-Total-order with the
+  *discovered* stabilization time tau;
+- :mod:`repro.properties.tob_checker` — the strong TOB specification
+  (tau = 0 everywhere);
+- :mod:`repro.properties.causal_checker` — TOB-Causal-Order;
+- :mod:`repro.properties.ec_checker` — EC-Termination/Integrity/Validity and
+  EC-Agreement with the discovered agreement index k;
+- :mod:`repro.properties.eic_checker` — the EIC properties of Appendix A;
+- :mod:`repro.properties.urb_checker` — uniform reliable broadcast;
+- :mod:`repro.properties.run_checker` — admissibility proxies (fairness,
+  message delivery);
+- :mod:`repro.properties.detector_checker` — is a sampled history really an
+  Omega (or Sigma) history?
+
+Tests and benchmarks assert through these checkers rather than ad-hoc
+conditions, so the specifications are written down exactly once.
+"""
+
+from repro.properties.causal_checker import check_causal_order
+from repro.properties.delivery import DeliveryTimeline, extract_timeline
+from repro.properties.detector_checker import check_omega_history, check_sigma_history
+from repro.properties.ec_checker import EcReport, check_ec
+from repro.properties.eic_checker import EicReport, check_eic
+from repro.properties.etob_checker import EtobReport, check_etob
+from repro.properties.run_checker import check_fairness, check_no_undelivered
+from repro.properties.tob_checker import check_tob
+from repro.properties.urb_checker import UrbReport, check_urb
+
+__all__ = [
+    "DeliveryTimeline",
+    "EcReport",
+    "EicReport",
+    "EtobReport",
+    "UrbReport",
+    "check_causal_order",
+    "check_ec",
+    "check_eic",
+    "check_etob",
+    "check_fairness",
+    "check_no_undelivered",
+    "check_omega_history",
+    "check_sigma_history",
+    "check_tob",
+    "check_urb",
+    "extract_timeline",
+]

@@ -1,0 +1,122 @@
+"""Checkers for failure-detector histories themselves.
+
+Given a sampled history and the failure pattern, decide whether the samples
+are consistent with the detector's specification:
+
+- Omega: there is a time after which every correct process permanently sees
+  the same correct leader — returns that stabilization time;
+- Sigma: any two sampled quorums intersect, and from some time on quorums at
+  correct processes contain only correct processes.
+
+These keep oracle implementations and the CHT-extracted Omega honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.detectors.base import FailureDetectorHistory
+from repro.sim.failures import FailurePattern
+from repro.sim.types import ProcessId, Time
+
+
+@dataclass
+class OmegaCheck:
+    """Outcome of an Omega-history check over a sampling window."""
+
+    ok: bool
+    stabilization_time: Time | None
+    leader: ProcessId | None
+    reason: str = ""
+
+
+def check_omega_history(
+    history: FailureDetectorHistory,
+    pattern: FailurePattern,
+    *,
+    horizon: Time,
+    sample_every: int = 1,
+    min_stable_window: Time | None = None,
+) -> OmegaCheck:
+    """Check Omega's property on samples over ``[0, horizon)``.
+
+    The discovered stabilization time is the earliest sampled time from which
+    all correct processes agree on one *constant* correct leader through the
+    horizon. On a finite window any history is vacuously stable at its last
+    sample, so the check additionally demands a stable suffix of at least
+    ``min_stable_window`` ticks (default: a quarter of the horizon).
+    """
+    if min_stable_window is None:
+        min_stable_window = horizon // 4
+    correct = sorted(pattern.correct)
+    if not correct:
+        return OmegaCheck(False, None, None, "no correct process")
+    times = list(range(0, horizon, sample_every))
+    stabilization: Time | None = None
+    leader: ProcessId | None = None
+    for t in reversed(times):
+        outputs = {history.query(pid, t) for pid in correct}
+        if len(outputs) == 1:
+            candidate = next(iter(outputs))
+            # The suffix must agree on one *constant* correct leader.
+            if candidate in pattern.correct and leader in (None, candidate):
+                stabilization = t
+                leader = candidate
+                continue
+        break
+    if stabilization is None:
+        return OmegaCheck(False, None, None, "never stabilized within horizon")
+    if horizon - stabilization < min_stable_window:
+        return OmegaCheck(
+            False,
+            stabilization,
+            leader,
+            f"stable suffix of {horizon - stabilization} ticks is shorter than "
+            f"the required {min_stable_window}",
+        )
+    return OmegaCheck(True, stabilization, leader)
+
+
+@dataclass
+class SigmaCheck:
+    """Outcome of a Sigma-history check over a sampling window."""
+
+    ok: bool
+    intersection_ok: bool
+    completeness_time: Time | None
+    reason: str = ""
+
+
+def check_sigma_history(
+    history: FailureDetectorHistory,
+    pattern: FailurePattern,
+    *,
+    horizon: Time,
+    sample_every: int = 1,
+) -> SigmaCheck:
+    """Check Sigma's properties on samples over ``[0, horizon)``."""
+    times = list(range(0, horizon, sample_every))
+    samples: list[frozenset[ProcessId]] = []
+    alive_samples: list[tuple[Time, ProcessId, frozenset[ProcessId]]] = []
+    for t in times:
+        for pid in pattern.alive_at(t):
+            quorum = frozenset(history.query(pid, t))
+            samples.append(quorum)
+            alive_samples.append((t, pid, quorum))
+
+    intersection_ok = all(a & b for a, b in combinations(samples, 2))
+
+    completeness_time: Time | None = None
+    correct = pattern.correct
+    for t in reversed(times):
+        quorums = [
+            frozenset(history.query(pid, t)) for pid in sorted(correct)
+        ]
+        if all(q <= correct for q in quorums):
+            completeness_time = t
+            continue
+        break
+    ok = intersection_ok and completeness_time is not None
+    reason = "" if ok else "intersection or eventual-correctness failed"
+    return SigmaCheck(ok, intersection_ok, completeness_time, reason)

@@ -1,0 +1,152 @@
+"""Checker for the EC specification (paper, Section 3).
+
+Consumes runs whose processes record ``("propose", l, v)`` and
+``("decide", l, v)`` outputs (the convention of
+:class:`~repro.core.drivers.EcDriverLayer` and the transformation layers):
+
+- EC-Termination: every correct process decided instances ``1..L`` (``L``
+  defaults to the largest instance *all* correct processes completed);
+- EC-Integrity: no process decided an instance twice;
+- EC-Validity: every decided value was proposed in that instance (by anyone);
+- EC-Agreement: discovers the smallest index ``k`` such that all correct
+  decisions agree for every instance in ``[k, L]``.
+
+The paper guarantees such a ``k`` exists for infinite admissible runs; on a
+finite run callers assert ``agreement_index <= L`` (agreement was actually
+observed) and typically relate ``k``'s decision time to the detector's
+stabilization time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.sim.runs import RunRecord
+from repro.sim.types import ProcessId, Time
+
+
+@dataclass
+class EcReport:
+    """Outcome of an EC specification check."""
+
+    termination_ok: bool
+    integrity_ok: bool
+    validity_ok: bool
+    #: smallest k with agreement on all instances in [k, L]; L+1 when even
+    #: the last common instance disagrees.
+    agreement_index: int
+    #: largest instance decided by every correct process.
+    last_common_instance: int
+    #: time at which the last correct process decided instance
+    #: ``agreement_index`` (useful to compare against detector stabilization).
+    agreement_time: Time | None
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.termination_ok
+            and self.integrity_ok
+            and self.validity_ok
+            and self.agreement_index <= self.last_common_instance
+        )
+
+
+def _first_decisions(
+    run: RunRecord, pid: ProcessId
+) -> tuple[dict[int, Any], dict[int, Time], list[int]]:
+    """(instance -> first decided value, instance -> time, duplicated instances)."""
+    values: dict[int, Any] = {}
+    times: dict[int, Time] = {}
+    duplicates: list[int] = []
+    for t, (instance, value) in run.tagged_outputs(pid, "decide"):
+        if instance in values:
+            duplicates.append(instance)
+            continue
+        values[instance] = value
+        times[instance] = t
+    return values, times, duplicates
+
+
+def check_ec(
+    run: RunRecord,
+    *,
+    correct: Iterable[ProcessId] | None = None,
+    expected_instances: int | None = None,
+) -> EcReport:
+    """Check the EC properties of a run; see the module docstring."""
+    correct_set = sorted(
+        frozenset(correct) if correct is not None else run.failure_pattern.correct
+    )
+    violations: list[str] = []
+
+    decisions: dict[ProcessId, dict[int, Any]] = {}
+    decision_times: dict[ProcessId, dict[int, Time]] = {}
+    integrity_ok = True
+    for pid in correct_set:
+        values, times, duplicates = _first_decisions(run, pid)
+        decisions[pid] = values
+        decision_times[pid] = times
+        if duplicates:
+            integrity_ok = False
+            violations.append(f"integrity: p{pid} decided twice in {duplicates}")
+
+    # Proposals from every process (faulty proposers still count for
+    # validity). Values are compared by repr so unhashable proposals (lists,
+    # dicts, message sequences) are supported.
+    proposals: dict[int, set[str]] = {}
+    for pid in range(run.n):
+        for __, (instance, value) in run.tagged_outputs(pid, "propose"):
+            proposals.setdefault(instance, set()).add(repr(value))
+
+    # Termination up to L.
+    per_process_max = [
+        max(decisions[pid], default=0) for pid in correct_set
+    ]
+    last_common = min(per_process_max, default=0)
+    if expected_instances is not None:
+        last_common = min(last_common, expected_instances)
+    termination_ok = last_common >= 1
+    if expected_instances is not None:
+        for pid in correct_set:
+            missing = [
+                l for l in range(1, expected_instances + 1) if l not in decisions[pid]
+            ]
+            if missing:
+                termination_ok = False
+                violations.append(f"termination: p{pid} missing instances {missing}")
+
+    # Validity.
+    validity_ok = True
+    for pid in correct_set:
+        for instance, value in sorted(decisions[pid].items()):
+            if repr(value) not in proposals.get(instance, set()):
+                validity_ok = False
+                violations.append(
+                    f"validity: p{pid} decided {value!r} in instance {instance}, "
+                    "which was never proposed"
+                )
+
+    # Agreement index k.
+    agreement_index = last_common + 1
+    for k in range(last_common, 0, -1):
+        values = {repr(decisions[pid].get(k)) for pid in correct_set}
+        if len(values) > 1:
+            break
+        agreement_index = k
+    agreement_time: Time | None = None
+    if agreement_index <= last_common:
+        agreement_time = max(
+            decision_times[pid][agreement_index] for pid in correct_set
+        )
+
+    return EcReport(
+        termination_ok=termination_ok,
+        integrity_ok=integrity_ok,
+        validity_ok=validity_ok,
+        agreement_index=agreement_index,
+        last_common_instance=last_common,
+        agreement_time=agreement_time,
+        violations=violations,
+    )

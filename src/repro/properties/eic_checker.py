@@ -1,0 +1,138 @@
+"""Checker for the EIC specification (paper, Appendix A).
+
+Consumes runs recording ``("propose", l, v)``, ``("decide", l, v)`` (first
+responses) and ``("revise", l, v)`` (subsequent responses) — the convention of
+:class:`~repro.core.drivers.EicDriverLayer`:
+
+- EIC-Termination: every correct process responded to instances ``1..L``;
+- EIC-Integrity: discovers the smallest ``k`` such that no instance ``>= k``
+  was responded to more than once;
+- EIC-Agreement: the *final* responses of correct processes agree on every
+  instance in ``1..L`` (the finite-run reading of "no two processes return
+  infinitely different values");
+- EIC-Validity: every response (initial or revision) was a proposed value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.sim.runs import RunRecord
+from repro.sim.types import ProcessId, Time
+
+
+@dataclass
+class EicReport:
+    """Outcome of an EIC specification check."""
+
+    termination_ok: bool
+    agreement_ok: bool
+    validity_ok: bool
+    #: smallest k such that instances >= k saw exactly one response per process.
+    integrity_index: int
+    #: largest instance all correct processes responded to.
+    last_common_instance: int
+    #: total number of revisions across correct processes.
+    total_revisions: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.termination_ok
+            and self.agreement_ok
+            and self.validity_ok
+            and self.integrity_index <= self.last_common_instance + 1
+        )
+
+
+def check_eic(
+    run: RunRecord,
+    *,
+    correct: Iterable[ProcessId] | None = None,
+    expected_instances: int | None = None,
+) -> EicReport:
+    """Check the EIC properties of a run; see the module docstring."""
+    correct_set = sorted(
+        frozenset(correct) if correct is not None else run.failure_pattern.correct
+    )
+    violations: list[str] = []
+
+    # Response streams: per pid, per instance, the ordered list of responses.
+    responses: dict[ProcessId, dict[int, list[Any]]] = {}
+    total_revisions = 0
+    for pid in correct_set:
+        stream: dict[int, list[Any]] = {}
+        events: list[tuple[Time, int, Any]] = []
+        for t, (instance, value) in run.tagged_outputs(pid, "decide"):
+            events.append((t, instance, value))
+        for t, (instance, value) in run.tagged_outputs(pid, "revise"):
+            events.append((t, instance, value))
+            total_revisions += 1
+        for __, instance, value in sorted(events, key=lambda e: e[0]):
+            stream.setdefault(instance, []).append(value)
+        responses[pid] = stream
+
+    # Values compared by repr so unhashable proposals are supported.
+    proposals: dict[int, set[str]] = {}
+    for pid in range(run.n):
+        for __, (instance, value) in run.tagged_outputs(pid, "propose"):
+            proposals.setdefault(instance, set()).add(repr(value))
+
+    per_process_max = [max(responses[pid], default=0) for pid in correct_set]
+    last_common = min(per_process_max, default=0)
+    if expected_instances is not None:
+        last_common = min(last_common, expected_instances)
+    termination_ok = last_common >= 1
+    if expected_instances is not None:
+        for pid in correct_set:
+            missing = [
+                l
+                for l in range(1, expected_instances + 1)
+                if l not in responses[pid]
+            ]
+            if missing:
+                termination_ok = False
+                violations.append(f"termination: p{pid} missing instances {missing}")
+
+    # Integrity index: smallest k such that every instance >= k got exactly
+    # one response at every correct process.
+    integrity_index = 1
+    for pid in correct_set:
+        for instance, values in responses[pid].items():
+            if len(values) > 1:
+                integrity_index = max(integrity_index, instance + 1)
+
+    # Final agreement per instance.
+    agreement_ok = True
+    for instance in range(1, last_common + 1):
+        finals = {repr(responses[pid][instance][-1]) for pid in correct_set}
+        if len(finals) > 1:
+            agreement_ok = False
+            violations.append(
+                f"agreement: final responses for instance {instance} differ"
+            )
+
+    # Validity of every response.
+    validity_ok = True
+    for pid in correct_set:
+        for instance, values in responses[pid].items():
+            allowed = proposals.get(instance, set())
+            for value in values:
+                if repr(value) not in allowed:
+                    validity_ok = False
+                    violations.append(
+                        f"validity: p{pid} responded {value!r} to instance "
+                        f"{instance}, never proposed"
+                    )
+
+    return EicReport(
+        termination_ok=termination_ok,
+        agreement_ok=agreement_ok,
+        validity_ok=validity_ok,
+        integrity_index=integrity_index,
+        last_common_instance=last_common,
+        total_revisions=total_revisions,
+        violations=violations,
+    )

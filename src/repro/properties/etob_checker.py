@@ -1,0 +1,198 @@
+"""Checker for the ETOB specification (paper, Section 3).
+
+``check_etob`` verifies, on a finite run record:
+
+- TOB-Validity: every message broadcast by a correct process is stably
+  delivered by that process (and, via agreement, by all correct processes);
+- TOB-No-creation: delivered messages were broadcast;
+- TOB-No-duplication: no sequence contains a message twice;
+- TOB-Agreement: a message stably delivered by some correct process is
+  stably delivered by every correct process;
+- ETOB-Stability: it *discovers* the smallest time ``tau_stability`` from
+  which every correct process's sequence only grows by extension;
+- ETOB-Total-order: it discovers the smallest time ``tau_total_order`` from
+  which the current sequences of any two correct processes never order a
+  common pair of messages differently.
+
+``tau`` (the paper's stabilization time) is the max of the two; strong TOB is
+the special case ``tau == 0`` (see :mod:`repro.properties.tob_checker`).
+
+Finite-run caveat: "eventually" is read as "by the end of the run"; callers
+must run simulations long enough past the last disturbance, and should also
+assert admissibility proxies from :mod:`repro.properties.run_checker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.messages import MessageId
+from repro.core.sequences import has_duplicates, is_prefix, order_consistent
+from repro.properties.delivery import DeliveryTimeline, extract_timeline
+from repro.sim.runs import RunRecord
+from repro.sim.types import ProcessId, Time
+
+
+@dataclass
+class EtobReport:
+    """Outcome of an ETOB specification check."""
+
+    validity_ok: bool
+    no_creation_ok: bool
+    no_duplication_ok: bool
+    agreement_ok: bool
+    tau_stability: Time
+    tau_total_order: Time
+    violations: list[str] = field(default_factory=list)
+    #: number of snapshot adoptions that were not prefix extensions.
+    stability_violations: int = 0
+    #: number of pairwise order conflicts observed.
+    order_violations: int = 0
+
+    @property
+    def tau(self) -> Time:
+        """The discovered overall stabilization time."""
+        return max(self.tau_stability, self.tau_total_order)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.validity_ok
+            and self.no_creation_ok
+            and self.no_duplication_ok
+            and self.agreement_ok
+        )
+
+    def is_strong_tob(self) -> bool:
+        """True iff the run satisfied the *strong* TOB spec (tau = 0)."""
+        return self.ok and self.tau == 0
+
+
+def check_etob(
+    run: RunRecord,
+    *,
+    correct: Iterable[ProcessId] | None = None,
+    timeline: DeliveryTimeline | None = None,
+) -> EtobReport:
+    """Check the ETOB properties of a run; see the module docstring."""
+    correct_set = (
+        frozenset(correct) if correct is not None else run.failure_pattern.correct
+    )
+    tl = timeline if timeline is not None else extract_timeline(run)
+    violations: list[str] = []
+
+    no_creation_ok = _check_no_creation(tl, violations)
+    no_duplication_ok = _check_no_duplication(tl, violations)
+    validity_ok, agreement_ok = _check_validity_agreement(
+        tl, correct_set, violations
+    )
+    tau_stability, stability_violations = _find_tau_stability(tl, correct_set)
+    tau_total, order_violations = _find_tau_total_order(tl, correct_set)
+
+    return EtobReport(
+        validity_ok=validity_ok,
+        no_creation_ok=no_creation_ok,
+        no_duplication_ok=no_duplication_ok,
+        agreement_ok=agreement_ok,
+        tau_stability=tau_stability,
+        tau_total_order=tau_total,
+        violations=violations,
+        stability_violations=stability_violations,
+        order_violations=order_violations,
+    )
+
+
+def _check_no_creation(tl: DeliveryTimeline, violations: list[str]) -> bool:
+    broadcast_uids = set(tl.broadcasts)
+    phantom = tl.all_message_uids() - broadcast_uids
+    if phantom:
+        violations.append(f"no-creation: delivered but never broadcast: {sorted(phantom)}")
+        return False
+    return True
+
+
+def _check_no_duplication(tl: DeliveryTimeline, violations: list[str]) -> bool:
+    ok = True
+    for pid in tl.pids():
+        for t, sequence in tl.snapshots[pid]:
+            uids = [m.uid for m in sequence]
+            if has_duplicates(uids):
+                violations.append(f"no-duplication: p{pid}@t{t} has duplicates")
+                ok = False
+    return ok
+
+
+def _check_validity_agreement(
+    tl: DeliveryTimeline,
+    correct: frozenset[ProcessId],
+    violations: list[str],
+) -> tuple[bool, bool]:
+    validity_ok = True
+    agreement_ok = True
+
+    # TOB-Validity: each correct broadcaster stably delivers its own messages.
+    for uid, (broadcaster, __, ___) in sorted(tl.broadcasts.items()):
+        if broadcaster not in correct:
+            continue
+        if tl.stable_delivery_time(broadcaster, uid) is None:
+            violations.append(
+                f"validity: p{broadcaster} never stably delivered its own {uid}"
+            )
+            validity_ok = False
+
+    # TOB-Agreement: stable delivery anywhere (correct) implies everywhere.
+    stably_delivered: set[MessageId] = set()
+    for pid in correct:
+        for uid in {m.uid for m in tl.final_sequence(pid)}:
+            if tl.stable_delivery_time(pid, uid) is not None:
+                stably_delivered.add(uid)
+    for uid in sorted(stably_delivered):
+        for pid in sorted(correct):
+            if tl.stable_delivery_time(pid, uid) is None:
+                violations.append(
+                    f"agreement: {uid} stably delivered somewhere but not by p{pid}"
+                )
+                agreement_ok = False
+    return validity_ok, agreement_ok
+
+
+def _find_tau_stability(
+    tl: DeliveryTimeline, correct: frozenset[ProcessId]
+) -> tuple[Time, int]:
+    """Smallest time from which every correct sequence grows by extension."""
+    last_violation: Time = -1
+    count = 0
+    for pid in sorted(correct):
+        previous: tuple = ()
+        for t, sequence in tl.snapshots.get(pid, []):
+            if not is_prefix(previous, sequence):
+                last_violation = max(last_violation, t)
+                count += 1
+            previous = sequence
+    return last_violation + 1, count
+
+
+def _find_tau_total_order(
+    tl: DeliveryTimeline, correct: frozenset[ProcessId]
+) -> tuple[Time, int]:
+    """Smallest time from which concurrent correct sequences agree on order.
+
+    Walks the merged snapshot events; after each event, checks the changed
+    sequence against every other process's *current* sequence. A conflict at
+    time t pushes the candidate tau past t.
+    """
+    current: dict[ProcessId, tuple] = {pid: () for pid in correct}
+    last_violation: Time = -1
+    count = 0
+    for t, pid, sequence in tl.merged_events():
+        if pid not in current:
+            continue
+        current[pid] = sequence
+        for other, other_seq in current.items():
+            if other == pid:
+                continue
+            if not order_consistent(sequence, other_seq):
+                last_violation = max(last_violation, t)
+                count += 1
+    return last_violation + 1, count

@@ -1,0 +1,42 @@
+"""Admissibility proxies for finite runs.
+
+The paper's admissible runs require (1) every correct process takes
+infinitely many steps, and (2) every message sent to a correct process is
+eventually received. On a finite run we check the finite analogues:
+
+- fairness: between any two consecutive steps of a correct process, at most
+  ``slack * n`` clock ticks elapse (round-robin gives exactly ``n``);
+- delivery: at the end of the run, no message addressed to a correct process
+  remains in transit (requires access to the simulation's network).
+"""
+
+from __future__ import annotations
+
+from repro.sim.runs import RunRecord
+from repro.sim.scheduler import Simulation
+
+
+def check_fairness(run: RunRecord, *, slack: int = 2) -> bool:
+    """True iff every correct process stepped regularly throughout the run."""
+    bound = slack * run.n
+    for pid in sorted(run.correct):
+        last_time = -1
+        for step in run.steps_of(pid):
+            if last_time >= 0 and step.time - last_time > bound:
+                return False
+            last_time = step.time
+        if last_time < 0:
+            return False  # a correct process never stepped
+        if run.end_time - last_time > bound:
+            return False
+    return True
+
+
+def check_no_undelivered(sim: Simulation) -> bool:
+    """True iff no message to a live correct process remains in transit.
+
+    Call after the simulation has run past its last disturbance; a False
+    result means the run was stopped too early to read "eventually"
+    properties off it (or a permanent partition was configured).
+    """
+    return sim.network.pending_for(sim.correct) == 0

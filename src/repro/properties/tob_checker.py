@@ -1,0 +1,49 @@
+"""Checker for the *strong* TOB specification.
+
+Strong TOB is ETOB with stabilization time zero: TOB-Stability and
+TOB-Total-order must hold over the whole run. Used to validate the
+consensus-based baseline and the paper's claim that Algorithm 5 implements
+strong TOB whenever Omega is stable from the start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.properties.etob_checker import EtobReport, check_etob
+from repro.sim.runs import RunRecord
+from repro.sim.types import ProcessId
+
+
+@dataclass
+class TobReport:
+    """Outcome of a strong TOB check (an ETOB report that must have tau=0)."""
+
+    etob: EtobReport
+
+    @property
+    def ok(self) -> bool:
+        return self.etob.ok and self.etob.tau == 0
+
+    @property
+    def violations(self) -> list[str]:
+        out = list(self.etob.violations)
+        if self.etob.tau_stability != 0:
+            out.append(
+                f"stability violated until t={self.etob.tau_stability - 1} "
+                "(strong TOB requires none)"
+            )
+        if self.etob.tau_total_order != 0:
+            out.append(
+                f"total order violated until t={self.etob.tau_total_order - 1} "
+                "(strong TOB requires none)"
+            )
+        return out
+
+
+def check_tob(
+    run: RunRecord, *, correct: Iterable[ProcessId] | None = None
+) -> TobReport:
+    """Check the strong TOB specification on a run."""
+    return TobReport(etob=check_etob(run, correct=correct))

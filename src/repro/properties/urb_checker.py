@@ -1,0 +1,91 @@
+"""Checker for uniform reliable broadcast.
+
+Consumes runs recording ``("urb-cast", uid, payload)`` and
+``("urb-deliver", message)`` outputs (the convention of
+:class:`~repro.broadcast.urb.UrbLayer` consumers):
+
+- URB-Validity: a correct broadcaster delivers its own messages;
+- Uniform agreement: a message delivered by *any* process (even a faulty one)
+  is delivered by every correct process;
+- URB-Integrity: at most one delivery per message per process, and only of
+  broadcast messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.messages import MessageId
+from repro.sim.runs import RunRecord
+from repro.sim.types import ProcessId
+
+
+@dataclass
+class UrbReport:
+    """Outcome of a URB check."""
+
+    validity_ok: bool
+    agreement_ok: bool
+    integrity_ok: bool
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.validity_ok and self.agreement_ok and self.integrity_ok
+
+
+def check_urb(
+    run: RunRecord, *, correct: Iterable[ProcessId] | None = None
+) -> UrbReport:
+    """Check the URB properties of a run; see the module docstring."""
+    correct_set = sorted(
+        frozenset(correct) if correct is not None else run.failure_pattern.correct
+    )
+    violations: list[str] = []
+
+    casts: dict[MessageId, ProcessId] = {}
+    for pid in range(run.n):
+        for __, (uid, _payload) in run.tagged_outputs(pid, "urb-cast"):
+            casts[uid] = pid
+
+    deliveries: dict[ProcessId, list[MessageId]] = {}
+    for pid in range(run.n):
+        deliveries[pid] = [
+            payload[0].uid for __, payload in run.tagged_outputs(pid, "urb-deliver")
+        ]
+
+    integrity_ok = True
+    for pid in range(run.n):
+        seen: set[MessageId] = set()
+        for uid in deliveries[pid]:
+            if uid in seen:
+                integrity_ok = False
+                violations.append(f"integrity: p{pid} delivered {uid} twice")
+            seen.add(uid)
+            if uid not in casts:
+                integrity_ok = False
+                violations.append(f"integrity: p{pid} delivered unknown {uid}")
+
+    validity_ok = True
+    for uid, broadcaster in sorted(casts.items()):
+        if broadcaster in correct_set and uid not in deliveries[broadcaster]:
+            validity_ok = False
+            violations.append(f"validity: p{broadcaster} never delivered own {uid}")
+
+    agreement_ok = True
+    delivered_anywhere = {uid for uids in deliveries.values() for uid in uids}
+    for uid in sorted(delivered_anywhere):
+        for pid in correct_set:
+            if uid not in deliveries[pid]:
+                agreement_ok = False
+                violations.append(
+                    f"uniform agreement: {uid} delivered somewhere but not by p{pid}"
+                )
+
+    return UrbReport(
+        validity_ok=validity_ok,
+        agreement_ok=agreement_ok,
+        integrity_ok=integrity_ok,
+        violations=violations,
+    )

@@ -1,0 +1,40 @@
+"""Replicated services on top of (eventual or strong) total order broadcast.
+
+The point of the paper's abstractions is a replicated state machine:
+
+- :mod:`repro.replication.state_machine` — deterministic state machines
+  (key-value store, counter, bank ledger, append log);
+- :mod:`repro.replication.replica` — a replica layer that broadcasts commands
+  through the layer below (ETOB for eventual consistency, consensus-TOB for
+  strong consistency) and applies delivered prefixes speculatively, rolling
+  back when the delivered sequence is revised;
+- :mod:`repro.replication.commit` — committed-prefix indications (paper,
+  Section 7): gossip of prefix digests; a prefix is flagged committed once a
+  quorum reports an identical digest;
+- :mod:`repro.replication.client` — client processes and the serving layer:
+  the service as seen from outside, with retries, failover, and end-to-end
+  observable revised responses.
+"""
+
+from repro.replication.client import ClientProcess, ClientServingLayer
+from repro.replication.commit import CommittedPrefixLayer
+from repro.replication.replica import ReplicaLayer
+from repro.replication.state_machine import (
+    AppendLog,
+    BankLedger,
+    Counter,
+    KvStore,
+    StateMachine,
+)
+
+__all__ = [
+    "AppendLog",
+    "BankLedger",
+    "ClientProcess",
+    "ClientServingLayer",
+    "CommittedPrefixLayer",
+    "Counter",
+    "KvStore",
+    "ReplicaLayer",
+    "StateMachine",
+]

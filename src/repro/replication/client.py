@@ -1,0 +1,163 @@
+"""Clients and the client-serving layer: the service seen from outside.
+
+The paper's motivating systems (Dynamo, PNUTS, Bigtable) serve *clients*,
+not co-located applications. This module completes that picture:
+
+- :class:`ClientServingLayer` tops a replica stack: it turns ``Request``
+  messages from client processes into replica invocations and sends
+  ``Reply`` messages back — including *revised* replies when a speculative
+  result is rolled back (the eventually consistent analogue of a
+  read-your-write anomaly, observable end to end);
+- :class:`ClientProcess` is a standalone process that submits commands to a
+  sticky replica, retries with failover when replies are slow (e.g. the
+  replica crashed), and records every (first or revised) outcome.
+
+Semantics are deliberately **at-least-once**: a retry after a failover may
+execute a command twice. That is the honest contract of an eventually
+consistent service without request deduplication; tests either use
+idempotent commands or count duplicates explicitly. Replicas do dedup
+retries of the same request id that reach the *same* replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.sim.context import Context
+from repro.sim.errors import ProtocolError
+from repro.sim.process import Process
+from repro.sim.stack import Layer, LayerContext
+from repro.sim.types import ProcessId, Time
+
+
+@dataclass(frozen=True)
+class Request:
+    """Client -> replica: execute ``command`` (id unique per client)."""
+
+    rid: int
+    command: tuple
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Replica -> client."""
+
+    rid: int
+    result: Any
+    revised: bool = False
+
+
+class ClientServingLayer(Layer):
+    """Serves client requests on top of a :class:`ReplicaLayer`."""
+
+    name = "client-serving"
+
+    def __init__(self) -> None:
+        #: (client pid, rid) -> command id handed to the replica layer.
+        self._by_request: dict[tuple[ProcessId, int], Any] = {}
+        #: command id -> (client pid, rid)
+        self._by_cmd: dict[Any, tuple[ProcessId, int]] = {}
+        self.duplicate_retries = 0
+
+    def on_message(self, ctx: LayerContext, sender: ProcessId, payload: Any) -> None:
+        if not isinstance(payload, Request):
+            return
+        key = (sender, payload.rid)
+        if key in self._by_request:
+            self.duplicate_retries += 1  # same request retried at this replica
+            return
+        cmd_id = ("ext", ctx.pid, sender, payload.rid)
+        self._by_request[key] = cmd_id
+        self._by_cmd[cmd_id] = key
+        ctx.call_lower(("invoke", payload.command, cmd_id))
+
+    def on_lower_event(self, ctx: LayerContext, event: Any) -> None:
+        if not (isinstance(event, tuple) and event):
+            return
+        if event[0] in ("response", "revised-response"):
+            __, cmd_id, result = event
+            key = self._by_cmd.get(cmd_id)
+            if key is not None:
+                client, rid = key
+                # Clients are plain processes: reply without stack framing.
+                ctx.send_raw(
+                    client, Reply(rid, result, event[0] == "revised-response")
+                )
+        # Everything (including responses for locally invoked commands)
+        # remains observable in the run record.
+        ctx.output(event)
+
+    def on_input(self, ctx: LayerContext, value: Any) -> None:
+        # Local invocations still work when a serving layer is on top.
+        ctx.call_lower(value)
+
+
+class ClientProcess(Process):
+    """A client of the replicated service.
+
+    Inputs: ``("submit", command)``. Outputs:
+    ``("client-response", rid, result)`` for first replies,
+    ``("client-revised", rid, result)`` for revised ones, and
+    ``("client-retry", rid, replica)`` on each failover.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[ProcessId],
+        *,
+        retry_after: Time = 60,
+        max_retries: int = 8,
+    ) -> None:
+        if not replicas:
+            raise ProtocolError("a client needs at least one replica")
+        self.replicas = list(replicas)
+        self.retry_after = retry_after
+        self.max_retries = max_retries
+        self._target_index = 0
+        self._next_rid = 0
+        #: rid -> (command, last send time, retries)
+        self.pending: dict[int, tuple[tuple, Time, int]] = {}
+        self.results: dict[int, Any] = {}
+        self.gave_up: set[int] = set()
+
+    def _target(self) -> ProcessId:
+        return self.replicas[self._target_index % len(self.replicas)]
+
+    def on_input(self, ctx: Context, value: Any) -> None:
+        if not (isinstance(value, tuple) and value and value[0] == "submit"):
+            raise ProtocolError(f"client cannot handle input {value!r}")
+        command = value[1]
+        rid = self._next_rid
+        self._next_rid += 1
+        self.pending[rid] = (command, ctx.time, 0)
+        ctx.send(self._target(), Request(rid, command))
+
+    def on_message(self, ctx: Context, sender: ProcessId, payload: Any) -> None:
+        if not isinstance(payload, Reply):
+            return
+        if payload.revised:
+            self.results[payload.rid] = payload.result
+            ctx.output(("client-revised", payload.rid, payload.result))
+            return
+        if payload.rid in self.pending:
+            del self.pending[payload.rid]
+        if payload.rid not in self.results:
+            self.results[payload.rid] = payload.result
+            ctx.output(("client-response", payload.rid, payload.result))
+
+    def on_timeout(self, ctx: Context) -> None:
+        for rid, (command, sent_at, retries) in sorted(self.pending.items()):
+            if ctx.time - sent_at < self.retry_after:
+                continue
+            if retries >= self.max_retries:
+                self.gave_up.add(rid)
+                del self.pending[rid]
+                ctx.output(("client-gave-up", rid))
+                continue
+            # Fail over to the next replica and resend.
+            self._target_index += 1
+            target = self._target()
+            self.pending[rid] = (command, ctx.time, retries + 1)
+            ctx.send(target, Request(rid, command))
+            ctx.output(("client-retry", rid, target))

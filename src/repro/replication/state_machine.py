@@ -1,0 +1,138 @@
+"""Deterministic state machines for replication.
+
+A :class:`StateMachine` is a pure transition system: ``initial()`` returns the
+starting state and ``apply(state, command)`` returns ``(new_state, result)``
+without mutating its input. Determinism and purity are what make "same
+delivery order => same state evolution" hold — the essence of state machine
+replication — and what make speculative re-execution after a delivered-
+sequence revision safe.
+
+Commands are plain tuples ``(op, *args)`` so they can travel through the
+broadcast layers unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+Command = tuple
+State = Any
+
+
+class StateMachine(abc.ABC):
+    """A deterministic, pure state machine."""
+
+    @abc.abstractmethod
+    def initial(self) -> State:
+        """The initial state."""
+
+    @abc.abstractmethod
+    def apply(self, state: State, command: Command) -> tuple[State, Any]:
+        """Apply ``command`` to ``state``; return (new state, result).
+
+        Must not mutate ``state``. Unknown commands should raise
+        ``ValueError`` — a replicated service must never silently diverge.
+        """
+
+
+class KvStore(StateMachine):
+    """A key-value store: ``("set", k, v)``, ``("get", k)``, ``("delete", k)``,
+    ``("cas", k, expected, v)``."""
+
+    def initial(self) -> dict:
+        return {}
+
+    def apply(self, state: dict, command: Command) -> tuple[dict, Any]:
+        op = command[0]
+        if op == "set":
+            __, key, value = command
+            new_state = dict(state)
+            new_state[key] = value
+            return new_state, value
+        if op == "get":
+            __, key = command
+            return state, state.get(key)
+        if op == "delete":
+            __, key = command
+            new_state = dict(state)
+            removed = new_state.pop(key, None)
+            return new_state, removed
+        if op == "cas":
+            __, key, expected, value = command
+            if state.get(key) == expected:
+                new_state = dict(state)
+                new_state[key] = value
+                return new_state, True
+            return state, False
+        raise ValueError(f"unknown KvStore command {command!r}")
+
+
+class Counter(StateMachine):
+    """A counter: ``("add", delta)``, ``("read",)``."""
+
+    def initial(self) -> int:
+        return 0
+
+    def apply(self, state: int, command: Command) -> tuple[int, Any]:
+        op = command[0]
+        if op == "add":
+            new_state = state + command[1]
+            return new_state, new_state
+        if op == "read":
+            return state, state
+        raise ValueError(f"unknown Counter command {command!r}")
+
+
+class BankLedger(StateMachine):
+    """Accounts with non-negative balances: ``("deposit", acct, amount)``,
+    ``("transfer", src, dst, amount)``, ``("balance", acct)``.
+
+    Transfers that would overdraw fail (result ``False``) instead of applying;
+    under eventual consistency a transfer may *speculatively* succeed and later
+    fail after a sequence revision — exactly the anomaly the committed-prefix
+    indication exists to fence.
+    """
+
+    def initial(self) -> dict:
+        return {}
+
+    def apply(self, state: dict, command: Command) -> tuple[dict, Any]:
+        op = command[0]
+        if op == "deposit":
+            __, account, amount = command
+            if amount < 0:
+                raise ValueError("deposit amount must be non-negative")
+            new_state = dict(state)
+            new_state[account] = new_state.get(account, 0) + amount
+            return new_state, new_state[account]
+        if op == "transfer":
+            __, source, destination, amount = command
+            if amount < 0:
+                raise ValueError("transfer amount must be non-negative")
+            if state.get(source, 0) < amount:
+                return state, False
+            new_state = dict(state)
+            new_state[source] = new_state.get(source, 0) - amount
+            new_state[destination] = new_state.get(destination, 0) + amount
+            return new_state, True
+        if op == "balance":
+            __, account = command
+            return state, state.get(account, 0)
+        raise ValueError(f"unknown BankLedger command {command!r}")
+
+
+class AppendLog(StateMachine):
+    """An append-only log: ``("append", item)``, ``("len",)``."""
+
+    def initial(self) -> tuple:
+        return ()
+
+    def apply(self, state: tuple, command: Command) -> tuple[tuple, Any]:
+        op = command[0]
+        if op == "append":
+            new_state = state + (command[1],)
+            return new_state, len(new_state)
+        if op == "len":
+            return state, len(state)
+        raise ValueError(f"unknown AppendLog command {command!r}")

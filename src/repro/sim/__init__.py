@@ -1,0 +1,59 @@
+"""Deterministic discrete-event simulator for asynchronous message passing.
+
+This package implements the computational model of the paper (Section 2):
+processes are deterministic automata taking steps ``(p, m, d, A)`` against a
+discrete global clock, connected by reliable links, subject to crash failures
+described by a failure pattern, and informed by a failure detector history.
+
+The public surface:
+
+- :class:`~repro.sim.failures.FailurePattern` and
+  :class:`~repro.sim.failures.Environment` — when and where crashes happen.
+- :class:`~repro.sim.network.Network` with pluggable
+  :class:`~repro.sim.network.DelayModel` — reliable links with finite but
+  unbounded delays, including partition windows and GST-style partial synchrony.
+- :class:`~repro.sim.process.Process` and :class:`~repro.sim.context.Context`
+  — the automaton interface.
+- :class:`~repro.sim.scheduler.Simulation` — the fair step scheduler producing
+  :class:`~repro.sim.runs.RunRecord` objects (the paper's runs
+  ``(F, H, H_I, H_O, S, T)``).
+- :class:`~repro.sim.stack.ProtocolStack` and :class:`~repro.sim.stack.Layer`
+  — composition of protocols, used by the paper's transformation algorithms.
+"""
+
+from repro.sim.context import Context
+from repro.sim.errors import ConfigurationError, SimulationError
+from repro.sim.failures import Environment, FailurePattern
+from repro.sim.network import (
+    FixedDelay,
+    GstDelay,
+    Network,
+    PartitionWindow,
+    PartitionedDelay,
+    UniformRandomDelay,
+)
+from repro.sim.process import Process
+from repro.sim.runs import RunRecord, StepRecord
+from repro.sim.scheduler import Simulation
+from repro.sim.stack import Layer, LayerContext, ProtocolStack
+
+__all__ = [
+    "ConfigurationError",
+    "Context",
+    "Environment",
+    "FailurePattern",
+    "FixedDelay",
+    "GstDelay",
+    "Layer",
+    "LayerContext",
+    "Network",
+    "PartitionWindow",
+    "PartitionedDelay",
+    "Process",
+    "ProtocolStack",
+    "RunRecord",
+    "Simulation",
+    "SimulationError",
+    "StepRecord",
+    "UniformRandomDelay",
+]

@@ -1,0 +1,107 @@
+"""Per-step execution context handed to process automata.
+
+A step in the paper is ``(p, m, d, A)``: process ``p`` receives a message
+``m`` (possibly the empty message), queries its failure detector obtaining
+``d``, transitions, and sends messages / produces outputs. The
+:class:`Context` exposes exactly those capabilities: the current time, the
+detector value ``d``, and buffered ``send`` / ``output`` effects that the
+scheduler flushes atomically at the end of the step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.types import ProcessId, Time, validate_process_id
+
+
+@dataclass
+class Context:
+    """Capabilities available to a process during a single step."""
+
+    pid: ProcessId
+    n: int
+    time: Time
+    fd_value: Any = None
+    _outbox: list[tuple[ProcessId, Any]] = field(default_factory=list)
+    _outputs: list[Any] = field(default_factory=list)
+    _log: list[Any] = field(default_factory=list)
+
+    # -- effects -----------------------------------------------------------
+
+    def send(self, receiver: ProcessId, payload: Any) -> None:
+        """Buffer a point-to-point message to ``receiver``."""
+        validate_process_id(receiver, self.n)
+        self._outbox.append((receiver, payload))
+
+    def send_all(self, payload: Any, *, include_self: bool = True) -> None:
+        """Buffer a broadcast to every process (the paper's ``Send``).
+
+        The paper's ``Send(message)`` "sends message to all processes
+        (including p_i)" (Algorithm 1); we default to including the sender.
+        """
+        for receiver in range(self.n):
+            if receiver == self.pid and not include_self:
+                continue
+            self._outbox.append((receiver, payload))
+
+    def output(self, value: Any) -> None:
+        """Record a value in the output history ``H_O`` (visible to the app)."""
+        self._outputs.append(value)
+
+    def log(self, event: Any) -> None:
+        """Record a diagnostic event in the simulation trace (not part of H_O)."""
+        self._log.append(event)
+
+    # -- failure detector convenience ---------------------------------------
+
+    def omega(self) -> ProcessId:
+        """The Omega output of this step's detector value.
+
+        Works with a bare Omega detector (whose sample *is* a process id) and
+        with composite detectors (whose sample is a mapping with an ``omega``
+        entry).
+        """
+        return _extract(self.fd_value, "omega")
+
+    def sigma(self) -> frozenset[ProcessId]:
+        """The Sigma (quorum) output of this step's detector value."""
+        return _extract(self.fd_value, "sigma")
+
+    def detector(self, name: str) -> Any:
+        """A named component of a composite detector sample."""
+        return _extract(self.fd_value, name)
+
+    # -- scheduler-side accessors -------------------------------------------
+
+    def drain_outbox(self) -> list[tuple[ProcessId, Any]]:
+        """Remove and return buffered sends (scheduler use)."""
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+    def drain_outputs(self) -> list[Any]:
+        """Remove and return buffered outputs (scheduler use)."""
+        outputs, self._outputs = self._outputs, []
+        return outputs
+
+    def drain_log(self) -> list[Any]:
+        """Remove and return buffered diagnostic events (scheduler use)."""
+        log, self._log = self._log, []
+        return log
+
+
+def _extract(fd_value: Any, name: str) -> Any:
+    """Pull the component ``name`` out of a detector sample."""
+    if isinstance(fd_value, dict):
+        if name not in fd_value:
+            raise KeyError(
+                f"composite detector sample has no {name!r} component: "
+                f"{sorted(fd_value)}"
+            )
+        return fd_value[name]
+    if fd_value is None:
+        raise ValueError(
+            f"no failure detector attached, cannot read {name!r} output"
+        )
+    return fd_value

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the simulator."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigurationError(SimulationError):
+    """Raised when a simulation or component is configured inconsistently."""
+
+
+class CrashedProcessError(SimulationError):
+    """Raised when an operation is attempted on behalf of a crashed process."""
+
+
+class ProtocolError(SimulationError):
+    """Raised when a protocol layer receives a message or call it cannot handle."""

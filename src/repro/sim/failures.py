@@ -1,0 +1,188 @@
+"""Failure patterns and environments (paper, Section 2).
+
+A *failure pattern* is a function ``F: N -> 2^Pi`` giving the set of processes
+that have crashed by each time; it is monotone (processes never recover). An
+*environment* is a set of failure patterns, i.e. an assumption about when and
+where failures may occur.
+
+We represent a failure pattern compactly by the crash time of each faulty
+process; processes absent from the map are correct.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.sim.types import ProcessId, Time, validate_process_id, validate_time
+
+
+@dataclass(frozen=True)
+class FailurePattern:
+    """When and where crashes happen in one run.
+
+    ``crash_times[p] = t`` means process ``p`` takes no step at any time
+    ``>= t`` (it has crashed by time ``t``). Monotonicity of ``F`` is inherent
+    to this representation.
+    """
+
+    n: int
+    crash_times: Mapping[ProcessId, Time] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need at least one process, got n={self.n}")
+        for pid, t in self.crash_times.items():
+            validate_process_id(pid, self.n)
+            validate_time(t)
+        # Freeze the mapping so the pattern is genuinely immutable and hashable.
+        object.__setattr__(self, "crash_times", dict(self.crash_times))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def no_failures(cls, n: int) -> "FailurePattern":
+        """The crash-free pattern over ``n`` processes."""
+        return cls(n, {})
+
+    @classmethod
+    def crash(cls, n: int, crash_times: Mapping[ProcessId, Time]) -> "FailurePattern":
+        """Pattern in which each process in ``crash_times`` crashes at its time."""
+        return cls(n, dict(crash_times))
+
+    @classmethod
+    def crash_all_but(
+        cls, n: int, survivors: Iterable[ProcessId], at: Time
+    ) -> "FailurePattern":
+        """Pattern crashing every process except ``survivors`` at time ``at``."""
+        keep = set(survivors)
+        return cls(n, {p: at for p in range(n) if p not in keep})
+
+    # -- queries -----------------------------------------------------------
+
+    def crashed(self, pid: ProcessId, t: Time) -> bool:
+        """True iff ``pid`` has crashed by time ``t`` (i.e. ``pid in F(t)``)."""
+        crash_at = self.crash_times.get(pid)
+        return crash_at is not None and t >= crash_at
+
+    def crashed_set(self, t: Time) -> frozenset[ProcessId]:
+        """The set ``F(t)`` of processes crashed by time ``t``."""
+        return frozenset(p for p, ct in self.crash_times.items() if t >= ct)
+
+    def alive_at(self, t: Time) -> frozenset[ProcessId]:
+        """Processes that have not crashed by time ``t``."""
+        return frozenset(range(self.n)) - self.crashed_set(t)
+
+    @property
+    def faulty(self) -> frozenset[ProcessId]:
+        """``faulty(F)``: processes that crash at some time in this pattern."""
+        return frozenset(self.crash_times)
+
+    @property
+    def correct(self) -> frozenset[ProcessId]:
+        """``correct(F)``: processes that never crash in this pattern."""
+        return frozenset(range(self.n)) - self.faulty
+
+    @property
+    def has_correct_majority(self) -> bool:
+        """True iff strictly more than half of the processes are correct."""
+        return len(self.correct) > self.n // 2
+
+    def crash_time(self, pid: ProcessId) -> Time | None:
+        """The time at which ``pid`` crashes, or None if it is correct."""
+        return self.crash_times.get(pid)
+
+    def last_crash_time(self) -> Time:
+        """The latest crash time in the pattern (0 if crash-free)."""
+        return max(self.crash_times.values(), default=0)
+
+    def describe(self) -> str:
+        """Short human-readable summary, e.g. ``n=5 crashes={1@t100, 3@t0}``."""
+        if not self.crash_times:
+            return f"n={self.n} crash-free"
+        crashes = ", ".join(
+            f"p{p}@t{t}" for p, t in sorted(self.crash_times.items())
+        )
+        return f"n={self.n} crashes={{{crashes}}}"
+
+
+@dataclass(frozen=True)
+class Environment:
+    """A named set of failure patterns over ``n`` processes.
+
+    ``contains(pattern)`` decides membership. Factory methods build the
+    environments used throughout the paper: the *arbitrary* environment (any
+    crashes, at least one correct process), the classical *majority-correct*
+    environment, and a few useful special cases.
+    """
+
+    name: str
+    n: int
+    _predicate: Callable[[FailurePattern], bool]
+
+    def contains(self, pattern: FailurePattern) -> bool:
+        """True iff ``pattern`` belongs to this environment."""
+        if pattern.n != self.n:
+            return False
+        return self._predicate(pattern)
+
+    # -- standard environments ----------------------------------------------
+
+    @classmethod
+    def arbitrary(cls, n: int) -> "Environment":
+        """Any failure pattern with at least one correct process.
+
+        This is the paper's "any environment": no assumption on when and where
+        failures occur. (Without any correct process neither Omega's property
+        nor any liveness property is meaningful, so we keep >= 1 correct.)
+        """
+        return cls("arbitrary", n, lambda f: len(f.correct) >= 1)
+
+    @classmethod
+    def majority_correct(cls, n: int) -> "Environment":
+        """Patterns in which a strict majority of processes is correct."""
+        return cls("majority-correct", n, lambda f: f.has_correct_majority)
+
+    @classmethod
+    def minority_correct(cls, n: int) -> "Environment":
+        """Patterns with at least one but at most ``n // 2`` correct processes.
+
+        The interesting regime of the paper: consensus with Omega alone is
+        impossible here, yet ETOB remains implementable.
+        """
+        return cls(
+            "minority-correct",
+            n,
+            lambda f: 1 <= len(f.correct) <= n // 2,
+        )
+
+    @classmethod
+    def crash_free(cls, n: int) -> "Environment":
+        """The single pattern with no failures."""
+        return cls("crash-free", n, lambda f: not f.faulty)
+
+    @classmethod
+    def at_most_f(cls, n: int, f: int) -> "Environment":
+        """Patterns with at most ``f`` faulty processes."""
+        if not 0 <= f < n:
+            raise ValueError(f"need 0 <= f < n, got f={f}, n={n}")
+        return cls(f"at-most-{f}-faulty", n, lambda fp: len(fp.faulty) <= f)
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self, rng: random.Random, *, horizon: Time = 1000) -> FailurePattern:
+        """Draw a random member pattern with crash times in ``[0, horizon)``.
+
+        Rejection-samples uniformly over (faulty-set, crash-times) choices; all
+        standard environments above accept quickly.
+        """
+        for _ in range(10_000):
+            k = rng.randint(0, self.n - 1)
+            faulty = rng.sample(range(self.n), k)
+            pattern = FailurePattern(
+                self.n, {p: rng.randrange(horizon) for p in faulty}
+            )
+            if self.contains(pattern):
+                return pattern
+        raise ValueError(f"could not sample a pattern from environment {self.name!r}")

@@ -1,0 +1,248 @@
+"""Reliable message-passing links with pluggable delay models.
+
+The paper assumes each pair of processes is connected by a reliable link:
+every message sent to a correct process is eventually received, but delays are
+finite yet unbounded. We model this with per-message integer delays drawn from
+a :class:`DelayModel`. Models include fixed delays, seeded random delays,
+partial synchrony with a global stabilization time (GST), and transient
+partition windows that hold cross-partition traffic until the partition heals.
+
+A permanent partition (healing time ``None``) makes crossing messages
+undeliverable; runs using it are not admissible in the paper's sense and are
+used only to demonstrate blocking behaviours.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Protocol, Sequence
+
+from repro.sim.types import NEVER, ProcessId, Time
+
+
+@dataclass(frozen=True, order=True)
+class Envelope:
+    """A message in transit, ordered by delivery time then send order."""
+
+    deliver_at: Time
+    seq: int
+    sender: ProcessId = field(compare=False)
+    receiver: ProcessId = field(compare=False)
+    payload: Any = field(compare=False)
+    send_time: Time = field(compare=False)
+
+
+class DelayModel(Protocol):
+    """Maps a (sender, receiver, send-time) to a strictly positive delay."""
+
+    def delay(self, sender: ProcessId, receiver: ProcessId, t: Time) -> Time:
+        """Return the link delay, in ticks, for a message sent at time ``t``."""
+        ...
+
+
+@dataclass
+class FixedDelay:
+    """Every message takes exactly ``ticks`` ticks."""
+
+    ticks: Time = 1
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise ValueError(f"delay must be >= 1 tick, got {self.ticks}")
+
+    def delay(self, sender: ProcessId, receiver: ProcessId, t: Time) -> Time:
+        return self.ticks
+
+
+@dataclass
+class UniformRandomDelay:
+    """Delays drawn uniformly from ``[lo, hi]`` with a private seeded RNG."""
+
+    lo: Time
+    hi: Time
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.lo <= self.hi:
+            raise ValueError(f"need 1 <= lo <= hi, got lo={self.lo}, hi={self.hi}")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, sender: ProcessId, receiver: ProcessId, t: Time) -> Time:
+        return self._rng.randint(self.lo, self.hi)
+
+
+@dataclass
+class GstDelay:
+    """Partial synchrony: chaotic before GST, bounded after.
+
+    Before ``gst`` delays are uniform in ``[1, pre_max]``; at and after ``gst``
+    every message takes at most ``post_delay`` ticks (uniform in
+    ``[1, post_delay]``). This is the standard partially synchronous model
+    under which heartbeat-based Omega implementations stabilize.
+    """
+
+    gst: Time
+    pre_max: Time = 50
+    post_delay: Time = 2
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.pre_max < 1 or self.post_delay < 1:
+            raise ValueError("delays must be >= 1 tick")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, sender: ProcessId, receiver: ProcessId, t: Time) -> Time:
+        if t < self.gst:
+            # A message sent before GST may still linger, but must arrive by
+            # GST + post bound to preserve reliability.
+            raw = self._rng.randint(1, self.pre_max)
+            return min(raw, (self.gst - t) + self.post_delay)
+        return self._rng.randint(1, self.post_delay)
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A time window during which some process groups cannot talk.
+
+    ``groups`` is a partition (in the set-theoretic sense) of a subset of
+    processes; messages between different groups sent during ``[start, end)``
+    are held until the window closes (``end``), or forever if ``end`` is None.
+    Processes not mentioned in any group communicate normally.
+    """
+
+    start: Time
+    end: Time | None
+    groups: tuple[frozenset[ProcessId], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[ProcessId] = set()
+        for group in self.groups:
+            overlap = seen & group
+            if overlap:
+                raise ValueError(f"groups must be disjoint; {overlap} repeated")
+            seen |= group
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(f"window must end after it starts: {self}")
+
+    def active(self, t: Time) -> bool:
+        """True iff the partition is in force at time ``t``."""
+        return t >= self.start and (self.end is None or t < self.end)
+
+    def separates(self, a: ProcessId, b: ProcessId) -> bool:
+        """True iff ``a`` and ``b`` are in different groups of this window."""
+        group_a = next((g for g in self.groups if a in g), None)
+        group_b = next((g for g in self.groups if b in g), None)
+        if group_a is None or group_b is None:
+            return False
+        return group_a is not group_b
+
+
+@dataclass
+class PartitionedDelay:
+    """Wraps a base delay model with transient (or permanent) partitions."""
+
+    base: DelayModel
+    windows: Sequence[PartitionWindow] = ()
+
+    def delay(self, sender: ProcessId, receiver: ProcessId, t: Time) -> Time:
+        held_until: Time = 0
+        for window in self.windows:
+            if window.active(t) and window.separates(sender, receiver):
+                if window.end is None:
+                    return NEVER - t  # never delivered
+                held_until = max(held_until, window.end)
+        base = self.base.delay(sender, receiver, t)
+        if held_until > t:
+            # Delivered shortly after the partition heals.
+            return (held_until - t) + base
+        return base
+
+
+class Network:
+    """The message buffer: reliable, non-FIFO, crash-aware links.
+
+    Messages are delivered one at a time in ``(deliver_at, send order)`` order
+    per receiver; ties never occur because ``seq`` is globally unique. The
+    network never drops messages; messages addressed to crashed processes are
+    simply never consumed.
+    """
+
+    def __init__(self, n: int, delay_model: DelayModel | None = None) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one process, got n={n}")
+        self.n = n
+        self.delay_model: DelayModel = delay_model or FixedDelay(1)
+        self._queues: list[list[Envelope]] = [[] for _ in range(n)]
+        self._seq = itertools.count()
+        self.sent_count = 0
+        self.delivered_count = 0
+
+    def send(
+        self, sender: ProcessId, receiver: ProcessId, payload: Any, t: Time
+    ) -> Envelope:
+        """Place ``payload`` in transit from ``sender`` to ``receiver`` at time ``t``."""
+        delay = self.delay_model.delay(sender, receiver, t)
+        if delay < 1:
+            raise ValueError(f"delay model produced non-positive delay {delay}")
+        envelope = Envelope(
+            deliver_at=t + delay,
+            seq=next(self._seq),
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            send_time=t,
+        )
+        heapq.heappush(self._queues[receiver], envelope)
+        self.sent_count += 1
+        return envelope
+
+    def send_all(
+        self,
+        sender: ProcessId,
+        payload: Any,
+        t: Time,
+        *,
+        include_self: bool = True,
+    ) -> list[Envelope]:
+        """Send ``payload`` to every process (the paper's ``Send``)."""
+        receivers = range(self.n) if include_self else (
+            p for p in range(self.n) if p != sender
+        )
+        return [self.send(sender, receiver, payload, t) for receiver in receivers]
+
+    def peek_deliverable(self, receiver: ProcessId, t: Time) -> Envelope | None:
+        """The oldest message deliverable to ``receiver`` at time ``t``, if any."""
+        queue = self._queues[receiver]
+        if queue and queue[0].deliver_at <= t:
+            return queue[0]
+        return None
+
+    def pop_deliverable(self, receiver: ProcessId, t: Time) -> Envelope | None:
+        """Consume and return the oldest deliverable message, if any."""
+        queue = self._queues[receiver]
+        if queue and queue[0].deliver_at <= t:
+            self.delivered_count += 1
+            return heapq.heappop(queue)
+        return None
+
+    def in_transit(self, receiver: ProcessId | None = None) -> int:
+        """Number of undelivered messages (optionally for one receiver)."""
+        if receiver is not None:
+            return len(self._queues[receiver])
+        return sum(len(q) for q in self._queues)
+
+    def pending_for(self, receivers: Iterable[ProcessId]) -> int:
+        """Number of undelivered messages addressed to any of ``receivers``."""
+        return sum(len(self._queues[r]) for r in receivers)
+
+    def earliest_pending(self, receivers: Iterable[ProcessId]) -> Time | None:
+        """Earliest delivery time among messages to ``receivers``, if any."""
+        times = [
+            self._queues[r][0].deliver_at for r in receivers if self._queues[r]
+        ]
+        return min(times, default=None)

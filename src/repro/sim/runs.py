@@ -1,0 +1,121 @@
+"""Run records: the paper's runs ``R = (F, H, H_I, H_O, S, T)``.
+
+The scheduler produces a :class:`RunRecord` per simulation: the failure
+pattern ``F``, the sampled failure detector history ``H`` (values actually
+observed at steps), the input history ``H_I``, the output history ``H_O``,
+the schedule ``S`` (one :class:`StepRecord` per step) and the times ``T``
+(embedded in each step record).
+
+Property checkers (``repro.properties``) consume these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.sim.failures import FailurePattern
+from repro.sim.types import ProcessId, Time
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """The message consumed by a step (``None`` payload means lambda)."""
+
+    sender: ProcessId
+    payload: Any
+    send_time: Time
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One step of the schedule ``S`` with its time ``T[i]``."""
+
+    index: int
+    time: Time
+    pid: ProcessId
+    message: ReceivedMessage | None
+    fd_value: Any
+    inputs: tuple[Any, ...] = ()
+    outputs: tuple[Any, ...] = ()
+    timeout_fired: bool = False
+    sent: int = 0
+    #: receives in this step (> 1 only when the simulation batches messages).
+    received_count: int = 0
+
+
+@dataclass
+class RunRecord:
+    """A complete recorded run."""
+
+    n: int
+    failure_pattern: FailurePattern
+    steps: list[StepRecord] = field(default_factory=list)
+    #: per-process input history: list of (time, value)
+    input_history: dict[ProcessId, list[tuple[Time, Any]]] = field(default_factory=dict)
+    #: per-process output history: list of (time, value)
+    output_history: dict[ProcessId, list[tuple[Time, Any]]] = field(default_factory=dict)
+    #: diagnostic log: list of (time, pid, event)
+    log: list[tuple[Time, ProcessId, Any]] = field(default_factory=list)
+    seed: int = 0
+    end_time: Time = 0
+
+    # -- recording (scheduler use) -------------------------------------------
+
+    def record_step(self, step: StepRecord) -> None:
+        self.steps.append(step)
+        self.end_time = max(self.end_time, step.time)
+        if step.inputs:
+            bucket = self.input_history.setdefault(step.pid, [])
+            bucket.extend((step.time, value) for value in step.inputs)
+        if step.outputs:
+            bucket = self.output_history.setdefault(step.pid, [])
+            bucket.extend((step.time, value) for value in step.outputs)
+
+    # -- queries --------------------------------------------------------------
+
+    def outputs_of(self, pid: ProcessId) -> list[tuple[Time, Any]]:
+        """The timestamped output history of ``pid``."""
+        return list(self.output_history.get(pid, []))
+
+    def inputs_of(self, pid: ProcessId) -> list[tuple[Time, Any]]:
+        """The timestamped input history of ``pid``."""
+        return list(self.input_history.get(pid, []))
+
+    def outputs_matching(
+        self, pid: ProcessId, predicate: Callable[[Any], bool]
+    ) -> list[tuple[Time, Any]]:
+        """Outputs of ``pid`` satisfying ``predicate``, in order."""
+        return [(t, v) for t, v in self.outputs_of(pid) if predicate(v)]
+
+    def tagged_outputs(self, pid: ProcessId, tag: str) -> list[tuple[Time, Any]]:
+        """Outputs of the form ``(tag, ...)``; returns (time, payload tuple).
+
+        Protocols in this repository emit structured outputs as tuples whose
+        first element is a string tag (e.g. ``("decide", k, v)``); this helper
+        filters one tag and strips it.
+        """
+        result: list[tuple[Time, Any]] = []
+        for t, value in self.outputs_of(pid):
+            if isinstance(value, tuple) and value and value[0] == tag:
+                result.append((t, value[1:]))
+        return result
+
+    def steps_of(self, pid: ProcessId) -> Iterator[StepRecord]:
+        """Steps taken by ``pid``, in schedule order."""
+        return (s for s in self.steps if s.pid == pid)
+
+    def step_count(self, pid: ProcessId | None = None) -> int:
+        """Number of steps, overall or for one process."""
+        if pid is None:
+            return len(self.steps)
+        return sum(1 for s in self.steps if s.pid == pid)
+
+    @property
+    def correct(self) -> frozenset[ProcessId]:
+        """Correct processes of the run's failure pattern."""
+        return self.failure_pattern.correct
+
+    def fd_samples(self, pid: ProcessId) -> list[tuple[Time, Any]]:
+        """Detector values observed by ``pid`` at its steps (history ``H``)."""
+        return [(s.time, s.fd_value) for s in self.steps if s.pid == pid]

@@ -1,0 +1,243 @@
+"""The fair step scheduler.
+
+Implements the paper's execution model: a discrete global clock; at each tick
+exactly one process may take a step (crashed processes' ticks are lost); steps
+consume at most one message — the oldest deliverable one — or the empty
+message lambda; the failure detector is queried at every step; inputs from the
+application are injected as scheduled; local periodic timeouts drive the
+"On local timeout" clauses of the paper's algorithms.
+
+Fairness: with round-robin scheduling process ``p`` steps at every tick
+``t ≡ p (mod n)`` while alive, so every correct process takes infinitely many
+steps; with seeded random scheduling each block of ``n`` ticks is a random
+permutation of the processes, preserving fairness while exercising different
+interleavings.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.sim.context import Context
+from repro.sim.errors import ConfigurationError
+from repro.sim.failures import FailurePattern
+from repro.sim.network import DelayModel, FixedDelay, Network
+from repro.sim.process import Process
+from repro.sim.runs import ReceivedMessage, RunRecord, StepRecord
+from repro.sim.types import ProcessId, Time, validate_process_id, validate_time
+
+
+class DetectorHistory(Protocol):
+    """Anything that can answer ``H(p, t)`` (see ``repro.detectors.base``)."""
+
+    def query(self, pid: ProcessId, t: Time) -> Any:
+        ...
+
+
+class Simulation:
+    """Drives a set of process automata to produce a run record."""
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        *,
+        failure_pattern: FailurePattern | None = None,
+        detector: DetectorHistory | None = None,
+        network: Network | None = None,
+        delay_model: DelayModel | None = None,
+        seed: int = 0,
+        timeout_interval: int | Sequence[int] = 8,
+        scheduling: str = "round_robin",
+        message_batch: int = 1,
+    ) -> None:
+        self.n = len(processes)
+        if self.n < 1:
+            raise ConfigurationError("need at least one process")
+        self.processes = list(processes)
+        for pid, process in enumerate(self.processes):
+            process.attach(pid, self.n)
+        self.failure_pattern = failure_pattern or FailurePattern.no_failures(self.n)
+        if self.failure_pattern.n != self.n:
+            raise ConfigurationError(
+                f"failure pattern is over n={self.failure_pattern.n} processes, "
+                f"simulation has n={self.n}"
+            )
+        if network is not None and delay_model is not None:
+            raise ConfigurationError("pass either a network or a delay model, not both")
+        self.network = network or Network(self.n, delay_model or FixedDelay(1))
+        if self.network.n != self.n:
+            raise ConfigurationError("network size does not match process count")
+        self.detector = detector
+        self.seed = seed
+        self.rng = random.Random(seed)
+        if scheduling not in ("round_robin", "random"):
+            raise ConfigurationError(f"unknown scheduling policy {scheduling!r}")
+        self.scheduling = scheduling
+
+        if isinstance(timeout_interval, int):
+            intervals = [timeout_interval] * self.n
+        else:
+            intervals = list(timeout_interval)
+            if len(intervals) != self.n:
+                raise ConfigurationError("one timeout interval per process required")
+        if any(i < 1 for i in intervals):
+            raise ConfigurationError("timeout intervals must be >= 1")
+        self.timeout_intervals = intervals
+        self._next_timeout: list[Time] = list(intervals)
+        if message_batch < 1:
+            raise ConfigurationError("message_batch must be >= 1")
+        #: maximum receives per step. The paper's step consumes exactly one
+        #: message; a batch > 1 coarsens several consecutive steps of the same
+        #: process into one tick, which is necessary for gossip-heavy stacks
+        #: whose inflow otherwise exceeds the one-message-per-tick drain rate.
+        self.message_batch = message_batch
+
+        self.time: Time = 0
+        self._step_index = 0
+        self._started: set[ProcessId] = set()
+        self._inputs: list[list[tuple[Time, int, Any]]] = [[] for _ in range(self.n)]
+        self._input_seq = itertools.count()
+        self._permutation: list[ProcessId] = list(range(self.n))
+        self.run = RunRecord(self.n, self.failure_pattern, seed=seed)
+
+    # -- inputs ----------------------------------------------------------------
+
+    def add_input(self, pid: ProcessId, time: Time, value: Any) -> None:
+        """Schedule an application input for ``pid`` at (or after) ``time``."""
+        validate_process_id(pid, self.n)
+        validate_time(time)
+        heapq.heappush(self._inputs[pid], (time, next(self._input_seq), value))
+
+    # -- stepping ----------------------------------------------------------------
+
+    def _scheduled_pid(self, t: Time) -> ProcessId:
+        if self.scheduling == "round_robin":
+            return t % self.n
+        slot = t % self.n
+        if slot == 0:
+            self._permutation = list(range(self.n))
+            self.rng.shuffle(self._permutation)
+        return self._permutation[slot]
+
+    def step(self) -> StepRecord | None:
+        """Advance the clock one tick; run the scheduled process if alive.
+
+        Returns the step record, or None when the tick belonged to a crashed
+        process (the tick is consumed either way).
+        """
+        t = self.time
+        self.time += 1
+        pid = self._scheduled_pid(t)
+        if self.failure_pattern.crashed(pid, t):
+            return None
+
+        process = self.processes[pid]
+        fd_value = self.detector.query(pid, t) if self.detector is not None else None
+        ctx = Context(pid=pid, n=self.n, time=t, fd_value=fd_value)
+
+        if pid not in self._started:
+            self._started.add(pid)
+            process.on_start(ctx)
+
+        inputs: list[Any] = []
+        queue = self._inputs[pid]
+        while queue and queue[0][0] <= t:
+            __, __, value = heapq.heappop(queue)
+            inputs.append(value)
+            process.on_input(ctx, value)
+
+        received: ReceivedMessage | None = None
+        received_count = 0
+        for __ in range(self.message_batch):
+            envelope = self.network.pop_deliverable(pid, t)
+            if envelope is None:
+                break
+            if received is None:
+                received = ReceivedMessage(
+                    sender=envelope.sender,
+                    payload=envelope.payload,
+                    send_time=envelope.send_time,
+                )
+            received_count += 1
+            process.on_message(ctx, envelope.sender, envelope.payload)
+
+        timeout_fired = False
+        if t >= self._next_timeout[pid]:
+            timeout_fired = True
+            self._next_timeout[pid] = t + self.timeout_intervals[pid]
+            process.on_timeout(ctx)
+
+        outbox = ctx.drain_outbox()
+        for receiver, payload in outbox:
+            self.network.send(pid, receiver, payload, t)
+        outputs = ctx.drain_outputs()
+        for event in ctx.drain_log():
+            self.run.log.append((t, pid, event))
+
+        record = StepRecord(
+            index=self._step_index,
+            time=t,
+            pid=pid,
+            message=received,
+            fd_value=fd_value,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            timeout_fired=timeout_fired,
+            sent=len(outbox),
+            received_count=received_count,
+        )
+        self._step_index += 1
+        self.run.record_step(record)
+        return record
+
+    # -- run loops ----------------------------------------------------------------
+
+    def run_until(self, t_end: Time) -> RunRecord:
+        """Run until the clock reaches ``t_end`` ticks."""
+        validate_time(t_end)
+        while self.time < t_end:
+            self.step()
+        return self.run
+
+    def run_steps(self, ticks: int) -> RunRecord:
+        """Run for ``ticks`` additional clock ticks."""
+        return self.run_until(self.time + ticks)
+
+    def run_while(
+        self, condition: Callable[["Simulation"], bool], *, max_time: Time = 1_000_000
+    ) -> RunRecord:
+        """Run while ``condition(self)`` holds, up to ``max_time`` ticks."""
+        while self.time < max_time and condition(self):
+            self.step()
+        return self.run
+
+    def run_until_quiescent(
+        self, *, grace: int = 0, max_time: Time = 1_000_000
+    ) -> RunRecord:
+        """Run until no message is deliverable to live processes (plus grace ticks).
+
+        Useful for protocols without periodic chatter. ``grace`` extra full
+        rounds are executed after the network drains, letting timers fire.
+        """
+        while self.time < max_time:
+            alive = self.failure_pattern.alive_at(self.time)
+            if self.network.pending_for(alive) == 0:
+                break
+            self.step()
+        if grace:
+            self.run_steps(grace * self.n)
+        return self.run
+
+    # -- convenience ----------------------------------------------------------------
+
+    @property
+    def correct(self) -> frozenset[ProcessId]:
+        """Correct processes of the configured failure pattern."""
+        return self.failure_pattern.correct
+
+    def alive(self) -> frozenset[ProcessId]:
+        """Processes alive at the current time."""
+        return self.failure_pattern.alive_at(self.time)

@@ -1,0 +1,142 @@
+"""Human-readable rendering of run records.
+
+Debugging distributed runs from raw step lists is miserable; these helpers
+print compact per-process timelines of the events that matter (broadcasts,
+delivered-sequence changes, decisions, leader changes) and side-by-side
+sequence comparisons. Used by examples and by humans in anger.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.runs import RunRecord
+from repro.sim.types import ProcessId, Time
+
+#: tags rendered by default, with a short label each.
+DEFAULT_TAGS = {
+    "broadcast-uid": "cast",
+    "deliver": "d",
+    "decide": "dec",
+    "revise": "rev",
+    "omega": "omega",
+    "leader": "ldr",
+    "committed": "commit",
+    "response": "resp",
+}
+
+
+def _summarize(tag: str, payload: tuple) -> str:
+    if tag == "deliver":
+        (sequence,) = payload
+        return f"|d|={len(sequence)}"
+    if tag == "broadcast-uid":
+        uid, __ = payload
+        return f"{uid}"
+    if tag in ("decide", "revise"):
+        instance, value = payload
+        return f"[{instance}]={value!r}"
+    if tag in ("omega", "leader"):
+        (leader,) = payload
+        return f"p{leader}"
+    if tag == "committed":
+        (length,) = payload
+        return f"len={length}"
+    if tag == "response":
+        cmd_id, result = payload
+        return f"{cmd_id}->{result!r}"
+    return repr(payload)
+
+
+def timeline(
+    run: RunRecord,
+    *,
+    pids: list[ProcessId] | None = None,
+    tags: dict[str, str] | None = None,
+    start: Time = 0,
+    end: Time | None = None,
+) -> str:
+    """A merged, time-ordered event log across processes.
+
+    One line per event: ``t=...  p<k>  <label> <summary>``. Crashed processes
+    are annotated at their crash time.
+    """
+    tags = tags if tags is not None else DEFAULT_TAGS
+    selected = pids if pids is not None else list(range(run.n))
+    horizon = end if end is not None else run.end_time
+    events: list[tuple[Time, ProcessId, str, str]] = []
+    for pid in selected:
+        for tag, label in tags.items():
+            for t, payload in run.tagged_outputs(pid, tag):
+                if start <= t <= horizon:
+                    events.append((t, pid, label, _summarize(tag, payload)))
+        crash_at = run.failure_pattern.crash_time(pid)
+        if crash_at is not None and start <= crash_at <= horizon:
+            events.append((crash_at, pid, "CRASH", ""))
+    events.sort(key=lambda e: (e[0], e[1]))
+    width = len(str(horizon))
+    lines = [
+        f"t={t:>{width}}  p{pid}  {label:>6} {summary}".rstrip()
+        for t, pid, label, summary in events
+    ]
+    return "\n".join(lines)
+
+
+def sequence_comparison(
+    run: RunRecord,
+    *,
+    at: Time | None = None,
+    payload_of: Callable[[Any], Any] = lambda m: m.payload,
+) -> str:
+    """Side-by-side delivered sequences of all processes at time ``at``.
+
+    Marks the longest common prefix; a ``!`` column flags the first position
+    where some process disagrees — the visual form of a divergence.
+    """
+    from repro.properties.delivery import extract_timeline
+
+    tl = extract_timeline(run)
+    when = at if at is not None else run.end_time
+    sequences = {
+        pid: [payload_of(m) for m in tl.sequence_at(pid, when)]
+        for pid in range(run.n)
+    }
+    longest = max((len(s) for s in sequences.values()), default=0)
+    agree_until = 0
+    for i in range(longest):
+        values = {
+            repr(s[i]) for s in sequences.values() if i < len(s)
+        }
+        if len(values) > 1:
+            break
+        if all(i < len(s) for s in sequences.values()):
+            agree_until = i + 1
+    lines = [f"delivered sequences at t={when} (common prefix: {agree_until}):"]
+    for pid in sorted(sequences):
+        cells = []
+        for i, item in enumerate(sequences[pid]):
+            marker = "" if i < agree_until else "!"
+            cells.append(f"{marker}{item}")
+        lines.append(f"  p{pid}: " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def decision_table(run: RunRecord, *, tag: str = "decide") -> str:
+    """Decisions per instance per process, as a compact grid."""
+    instances: set = set()
+    decisions: dict[ProcessId, dict[Any, Any]] = {}
+    for pid in range(run.n):
+        per = {}
+        for __, (instance, value) in run.tagged_outputs(pid, tag):
+            per.setdefault(instance, value)
+            instances.add(instance)
+        decisions[pid] = per
+    ordered = sorted(instances, key=repr)
+    lines = ["instance: " + " ".join(str(i) for i in ordered)]
+    for pid in sorted(decisions):
+        row = [
+            repr(decisions[pid].get(instance, "."))
+            for instance in ordered
+        ]
+        lines.append(f"  p{pid}:    " + " ".join(row))
+    return "\n".join(lines)

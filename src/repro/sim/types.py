@@ -1,0 +1,32 @@
+"""Shared primitive type aliases for the simulator.
+
+The paper works with a set of processes ``Pi = {p_1, ..., p_n}`` and a discrete
+global clock ranging over the natural numbers. We identify processes with
+0-based integers and times with non-negative integers.
+"""
+
+from __future__ import annotations
+
+ProcessId = int
+Time = int
+
+#: Sentinel time used for events that never happen (e.g. a message crossing a
+#: permanent partition). Chosen far beyond any realistic simulation horizon but
+#: still an ``int`` so ordering arithmetic stays exact.
+NEVER: Time = 2**62
+
+
+def validate_process_id(pid: ProcessId, n: int) -> None:
+    """Raise ``ValueError`` unless ``pid`` is a valid process id for ``n`` processes."""
+    if not isinstance(pid, int) or isinstance(pid, bool):
+        raise ValueError(f"process id must be an int, got {pid!r}")
+    if not 0 <= pid < n:
+        raise ValueError(f"process id {pid} out of range for n={n}")
+
+
+def validate_time(t: Time) -> None:
+    """Raise ``ValueError`` unless ``t`` is a valid (non-negative integer) time."""
+    if not isinstance(t, int) or isinstance(t, bool):
+        raise ValueError(f"time must be an int, got {t!r}")
+    if t < 0:
+        raise ValueError(f"time must be non-negative, got {t}")

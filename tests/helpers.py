@@ -1,0 +1,259 @@
+"""Shared scenario builders for the test suite.
+
+These construct the standard simulations the paper's experiments revolve
+around: ETOB/EC/EIC stacks under configurable environments, detector
+stabilization times and delays. Keeping them here keeps individual tests
+focused on the property being asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core import (
+    EcDriverLayer,
+    EcUsingOmegaLayer,
+    EicDriverLayer,
+    EicUsingOmegaLayer,
+    EtobLayer,
+)
+from repro.core.drivers import distinct_proposals
+from repro.core.transformations import (
+    EcToEicLayer,
+    EcToEtobLayer,
+    EicToEcLayer,
+    EtobToEcLayer,
+)
+from repro.consensus import PaxosConsensusLayer, TobFromConsensusLayer
+from repro.detectors import CompositeDetector, OmegaDetector, SigmaDetector
+from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+
+#: Default broadcast schedule: (pid, time, payload) triples.
+Broadcasts = Sequence[tuple[int, int, Any]]
+
+
+def etob_sim(
+    n: int = 4,
+    *,
+    crashes: dict[int, int] | None = None,
+    tau_omega: int = 0,
+    pre_behavior: str = "rotate",
+    delay: int = 2,
+    timeout: int = 4,
+    seed: int = 0,
+    layer_factory: Callable[[], Any] | None = None,
+) -> Simulation:
+    """An ETOB (Algorithm 5) simulation ready to receive broadcast inputs."""
+    pattern = FailurePattern.crash(n, crashes or {})
+    detector = OmegaDetector(
+        stabilization_time=tau_omega, pre_behavior=pre_behavior
+    ).history(pattern, seed=seed)
+    factory = layer_factory or (lambda: ProtocolStack([EtobLayer()]))
+    processes = [factory() for _ in range(n)]
+    return Simulation(
+        processes,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(delay),
+        timeout_interval=timeout,
+        seed=seed,
+    )
+
+
+def feed_broadcasts(sim: Simulation, broadcasts: Broadcasts) -> None:
+    """Schedule broadcast inputs on a simulation."""
+    for pid, time, payload in broadcasts:
+        sim.add_input(pid, time, ("broadcast", payload))
+
+
+def ec_sim(
+    n: int = 3,
+    *,
+    crashes: dict[int, int] | None = None,
+    tau_omega: int = 0,
+    pre_behavior: str = "rotate",
+    instances: int = 5,
+    delay: int = 2,
+    timeout: int = 4,
+    seed: int = 0,
+    proposal_fn=distinct_proposals,
+) -> Simulation:
+    """An EC (Algorithm 4) simulation with the standard driver."""
+    pattern = FailurePattern.crash(n, crashes or {})
+    detector = OmegaDetector(
+        stabilization_time=tau_omega, pre_behavior=pre_behavior
+    ).history(pattern, seed=seed)
+    processes = [
+        ProtocolStack(
+            [
+                EcUsingOmegaLayer(),
+                EcDriverLayer(proposal_fn, max_instances=instances),
+            ]
+        )
+        for _ in range(n)
+    ]
+    return Simulation(
+        processes,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(delay),
+        timeout_interval=timeout,
+        seed=seed,
+    )
+
+
+def eic_sim(
+    n: int = 3,
+    *,
+    crashes: dict[int, int] | None = None,
+    tau_omega: int = 0,
+    instances: int = 5,
+    delay: int = 2,
+    timeout: int = 4,
+    seed: int = 0,
+) -> Simulation:
+    """A native EIC simulation with the standard driver."""
+    pattern = FailurePattern.crash(n, crashes or {})
+    detector = OmegaDetector(stabilization_time=tau_omega).history(
+        pattern, seed=seed
+    )
+    processes = [
+        ProtocolStack(
+            [EicUsingOmegaLayer(), EicDriverLayer(max_instances=instances)]
+        )
+        for _ in range(n)
+    ]
+    return Simulation(
+        processes,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(delay),
+        timeout_interval=timeout,
+        seed=seed,
+    )
+
+
+def ec_to_etob_sim(
+    n: int = 3,
+    *,
+    crashes: dict[int, int] | None = None,
+    tau_omega: int = 0,
+    delay: int = 2,
+    timeout: int = 4,
+    seed: int = 0,
+) -> Simulation:
+    """Algorithm 1 over Algorithm 4: ETOB built from EC."""
+    pattern = FailurePattern.crash(n, crashes or {})
+    detector = OmegaDetector(stabilization_time=tau_omega).history(
+        pattern, seed=seed
+    )
+    processes = [
+        ProtocolStack([EcUsingOmegaLayer(), EcToEtobLayer()]) for _ in range(n)
+    ]
+    return Simulation(
+        processes,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(delay),
+        timeout_interval=timeout,
+        seed=seed,
+    )
+
+
+def etob_to_ec_sim(
+    n: int = 3,
+    *,
+    crashes: dict[int, int] | None = None,
+    tau_omega: int = 0,
+    instances: int = 4,
+    delay: int = 2,
+    timeout: int = 4,
+    seed: int = 0,
+) -> Simulation:
+    """Algorithm 2 over Algorithm 5: EC built from ETOB."""
+    pattern = FailurePattern.crash(n, crashes or {})
+    detector = OmegaDetector(stabilization_time=tau_omega).history(
+        pattern, seed=seed
+    )
+    processes = [
+        ProtocolStack(
+            [EtobLayer(), EtobToEcLayer(), EcDriverLayer(max_instances=instances)]
+        )
+        for _ in range(n)
+    ]
+    return Simulation(
+        processes,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(delay),
+        timeout_interval=timeout,
+        seed=seed,
+    )
+
+
+def eic_round_trip_sim(
+    n: int = 3,
+    *,
+    tau_omega: int = 0,
+    instances: int = 4,
+    seed: int = 0,
+) -> Simulation:
+    """Algorithm 7 over Algorithm 6 over Algorithm 4: EC -> EIC -> EC."""
+    pattern = FailurePattern.no_failures(n)
+    detector = OmegaDetector(stabilization_time=tau_omega).history(
+        pattern, seed=seed
+    )
+    processes = [
+        ProtocolStack(
+            [
+                EcUsingOmegaLayer(),
+                EcToEicLayer(),
+                EicToEcLayer(),
+                EcDriverLayer(max_instances=instances),
+            ]
+        )
+        for _ in range(n)
+    ]
+    return Simulation(
+        processes,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(2),
+        timeout_interval=4,
+        seed=seed,
+    )
+
+
+def strong_tob_sim(
+    n: int = 5,
+    *,
+    crashes: dict[int, int] | None = None,
+    tau_omega: int = 0,
+    quorum_mode: str = "majority",
+    delay: int = 2,
+    timeout: int = 4,
+    seed: int = 0,
+) -> Simulation:
+    """The strong baseline: TOB over Paxos, majority or Sigma quorums."""
+    pattern = FailurePattern.crash(n, crashes or {})
+    omega = OmegaDetector(stabilization_time=tau_omega)
+    if quorum_mode == "sigma":
+        detector = CompositeDetector(
+            {"omega": omega, "sigma": SigmaDetector(stabilization_time=tau_omega)}
+        ).history(pattern, seed=seed)
+    else:
+        detector = omega.history(pattern, seed=seed)
+    processes = [
+        ProtocolStack(
+            [PaxosConsensusLayer(quorum_mode=quorum_mode), TobFromConsensusLayer()]
+        )
+        for _ in range(n)
+    ]
+    return Simulation(
+        processes,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(delay),
+        timeout_interval=timeout,
+        seed=seed,
+    )

@@ -1,0 +1,186 @@
+"""Unit tests for the causal graph (UpdateCG / UnionCG / UpdatePromote)."""
+
+import pytest
+
+from repro.core.causal_graph import CausalGraph, LinearizationError
+from repro.core.messages import AppMessage, MessageId
+
+
+def msg(sender, seq, *deps):
+    return AppMessage(
+        MessageId(sender, seq), f"p{sender}s{seq}", frozenset(deps)
+    )
+
+
+class TestAdd:
+    def test_add_root_message(self):
+        graph = CausalGraph()
+        a = msg(0, 0)
+        graph.add(a)
+        assert a in graph
+        assert len(graph) == 1
+
+    def test_add_requires_dependencies_present(self):
+        graph = CausalGraph()
+        orphan = msg(1, 0, MessageId(0, 0))
+        with pytest.raises(LinearizationError):
+            graph.add(orphan)
+
+    def test_add_is_idempotent(self):
+        graph = CausalGraph()
+        a = msg(0, 0)
+        graph.add(a)
+        graph.add(a)
+        assert len(graph) == 1
+
+    def test_conflicting_dep_sets_rejected(self):
+        graph = CausalGraph()
+        a, b = msg(0, 0), msg(1, 0)
+        graph.add(a)
+        graph.add(b)
+        c1 = msg(2, 0, a.uid)
+        c2 = AppMessage(c1.uid, "other", frozenset({b.uid}))
+        graph.add(c1)
+        with pytest.raises(LinearizationError):
+            graph.add(c2)
+
+
+class TestUnion:
+    def test_union_merges_closed_graphs(self):
+        a, b = msg(0, 0), msg(1, 0, MessageId(0, 0))
+        g1 = CausalGraph([a])
+        g2 = CausalGraph([a, b])
+        g1.union(g2)
+        assert b in g1
+
+    def test_union_handles_unordered_iterables(self):
+        a = msg(0, 0)
+        b = msg(0, 1, a.uid)
+        c = msg(0, 2, b.uid)
+        graph = CausalGraph()
+        graph.union([c, a, b])  # out of dependency order
+        assert len(graph) == 3
+
+    def test_union_rejects_non_closed_input(self):
+        dangling = msg(1, 5, MessageId(9, 9))
+        graph = CausalGraph()
+        with pytest.raises(LinearizationError):
+            graph.union([dangling])
+
+    def test_union_is_idempotent(self):
+        a, b = msg(0, 0), msg(1, 0)
+        g = CausalGraph([a, b])
+        g.union(CausalGraph([a, b]))
+        assert len(g) == 2
+
+
+class TestLinearization:
+    def test_respects_dependencies(self):
+        a = msg(0, 0)
+        b = msg(1, 0, a.uid)
+        c = msg(2, 0, b.uid)
+        graph = CausalGraph([a, b, c])
+        order = graph.linearize_extending(())
+        assert [m.uid for m in order] == [a.uid, b.uid, c.uid]
+
+    def test_extends_prefix(self):
+        a, b = msg(0, 0), msg(1, 0)
+        graph = CausalGraph([a, b])
+        # Force b first even though uid order would put a first.
+        order = graph.linearize_extending((b,))
+        assert [m.uid for m in order] == [b.uid, a.uid]
+
+    def test_deterministic_uid_tiebreak(self):
+        messages = [msg(p, 0) for p in (3, 1, 2, 0)]
+        graph = CausalGraph(messages)
+        order = graph.linearize_extending(())
+        assert [m.uid.sender for m in order] == [0, 1, 2, 3]
+
+    def test_prefix_violating_causality_rejected(self):
+        a = msg(0, 0)
+        b = msg(1, 0, a.uid)
+        graph = CausalGraph([a, b])
+        with pytest.raises(LinearizationError):
+            graph.linearize_extending((b,))
+
+    def test_prefix_with_unknown_message_rejected(self):
+        graph = CausalGraph([msg(0, 0)])
+        with pytest.raises(LinearizationError):
+            graph.linearize_extending((msg(5, 5),))
+
+    def test_prefix_with_duplicate_rejected(self):
+        a = msg(0, 0)
+        graph = CausalGraph([a])
+        with pytest.raises(LinearizationError):
+            graph.linearize_extending((a, a))
+
+    def test_incremental_growth_preserves_prefix(self):
+        a = msg(0, 0)
+        graph = CausalGraph([a])
+        first = graph.linearize_extending(())
+        b = msg(1, 0, a.uid)
+        graph.add(b)
+        second = graph.linearize_extending(first)
+        assert second[: len(first)] == first
+
+
+class TestQueries:
+    def test_frontier(self):
+        a = msg(0, 0)
+        b = msg(1, 0, a.uid)
+        c = msg(2, 0)
+        graph = CausalGraph([a, b, c])
+        assert graph.frontier() == {b.uid, c.uid}
+
+    def test_ancestors_transitive(self):
+        a = msg(0, 0)
+        b = msg(1, 0, a.uid)
+        c = msg(2, 0, b.uid)
+        graph = CausalGraph([a, b, c])
+        assert graph.ancestors(c.uid) == {a.uid, b.uid}
+        assert graph.causally_precedes(a.uid, c.uid)
+        assert not graph.causally_precedes(c.uid, a.uid)
+
+    def test_ancestors_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            CausalGraph().ancestors(MessageId(0, 0))
+
+    def test_messages_snapshot_sorted(self):
+        a, b = msg(1, 0), msg(0, 0)
+        graph = CausalGraph([a, b])
+        assert [m.uid for m in graph.messages()] == [b.uid, a.uid]
+
+    def test_edges(self):
+        a = msg(0, 0)
+        b = msg(1, 0, a.uid)
+        graph = CausalGraph([a, b])
+        assert graph.edges() == {(a.uid, b.uid)}
+
+    def test_copy_is_independent(self):
+        a = msg(0, 0)
+        graph = CausalGraph([a])
+        clone = graph.copy()
+        clone.add(msg(1, 0))
+        assert len(graph) == 1
+        assert len(clone) == 2
+
+    def test_validate_accepts_good_graph(self):
+        a = msg(0, 0)
+        b = msg(1, 0, a.uid)
+        CausalGraph([a, b]).validate()
+
+
+class TestMessages:
+    def test_message_identity_by_uid(self):
+        m1 = AppMessage(MessageId(0, 0), "x")
+        m2 = AppMessage(MessageId(0, 0), "y")
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            AppMessage(MessageId(0, 0), "x", frozenset({MessageId(0, 0)}))
+
+    def test_message_id_ordering(self):
+        assert MessageId(0, 1) < MessageId(1, 0)
+        assert MessageId(1, 0) < MessageId(1, 2)

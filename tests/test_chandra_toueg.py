@@ -1,0 +1,98 @@
+"""Tests for the Chandra-Toueg rotating-coordinator consensus ([3])."""
+
+import pytest
+
+from repro.consensus.chandra_toueg import ChandraTouegConsensusLayer
+from repro.core import EcDriverLayer
+from repro.detectors import EventuallyStrongDetector
+from repro.properties import check_ec
+from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+
+
+def ct_sim(n=3, crashes=None, tau=0, instances=3, seed=0, anchor=None):
+    pattern = FailurePattern.crash(n, crashes or {})
+    detector = EventuallyStrongDetector(
+        stabilization_time=tau, anchor=anchor
+    ).history(pattern, seed=seed)
+    procs = [
+        ProtocolStack(
+            [ChandraTouegConsensusLayer(), EcDriverLayer(max_instances=instances)]
+        )
+        for _ in range(n)
+    ]
+    return Simulation(
+        procs,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(2),
+        timeout_interval=4,
+        seed=seed,
+        message_batch=4,
+    )
+
+
+class TestChandraToueg:
+    def test_basic_agreement_and_validity(self):
+        sim = ct_sim(n=3, instances=3)
+        sim.run_until(3000)
+        report = check_ec(sim.run, expected_instances=3)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1, "consensus never disagrees"
+
+    def test_five_processes(self):
+        sim = ct_sim(n=5, instances=2, seed=2)
+        sim.run_until(4000)
+        report = check_ec(sim.run, expected_instances=2)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1
+
+    def test_tolerates_minority_crash(self):
+        sim = ct_sim(n=5, crashes={4: 50, 3: 120}, instances=2, tau=200)
+        sim.run_until(6000)
+        report = check_ec(sim.run, expected_instances=2)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1
+
+    def test_coordinator_crash_rotates_past(self):
+        # p0 (the round-1 coordinator) crashes immediately; suspicion drives
+        # everyone to later rounds whose coordinators are alive.
+        sim = ct_sim(n=3, crashes={0: 10}, instances=2, tau=100)
+        sim.run_until(6000)
+        report = check_ec(sim.run, correct={1, 2}, expected_instances=2)
+        assert report.ok, report.violations
+
+    def test_early_false_suspicions_are_harmless(self):
+        # diamond-S misbehaves until t=250: rounds churn, but safety holds
+        # and decisions still come.
+        sim = ct_sim(n=4, instances=3, tau=250, seed=5)
+        sim.run_until(8000)
+        report = check_ec(sim.run, expected_instances=3)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1
+
+    def test_double_propose_rejected(self):
+        from repro.sim.context import Context
+        from repro.sim.errors import ProtocolError
+        from repro.sim.stack import LayerContext
+
+        stack = ProtocolStack([ChandraTouegConsensusLayer()])
+        stack.attach(0, 3)
+        ctx = LayerContext(
+            stack, Context(pid=0, n=3, time=0, fd_value=frozenset()), 0
+        )
+        stack.layers[0].on_call(ctx, ("propose", 1, "a"))
+        with pytest.raises(ProtocolError):
+            stack.layers[0].on_call(ctx, ("propose", 1, "b"))
+
+    def test_non_integer_instance_rejected(self):
+        from repro.sim.context import Context
+        from repro.sim.errors import ProtocolError
+        from repro.sim.stack import LayerContext
+
+        stack = ProtocolStack([ChandraTouegConsensusLayer()])
+        stack.attach(0, 3)
+        ctx = LayerContext(
+            stack, Context(pid=0, n=3, time=0, fd_value=frozenset()), 0
+        )
+        with pytest.raises(ProtocolError):
+            stack.layers[0].on_call(ctx, ("propose", "x", "a"))

@@ -1,0 +1,237 @@
+"""Self-tests of the property checkers on synthetic run records.
+
+A checker that accepts everything is worse than no checker; each test here
+builds a hand-crafted run record containing a *seeded violation* and asserts
+the checker rejects it (plus matching positive cases).
+"""
+
+from repro.core.messages import AppMessage, MessageId
+from repro.properties import check_causal_order, check_ec, check_eic, check_etob
+from repro.sim.failures import FailurePattern
+from repro.sim.runs import RunRecord
+
+
+def make_run(n, outputs):
+    """A run record with the given {pid: [(t, output), ...]} outputs."""
+    run = RunRecord(n, FailurePattern.no_failures(n))
+    for pid, events in outputs.items():
+        run.output_history[pid] = list(events)
+        if events:
+            run.end_time = max(run.end_time, max(t for t, __ in events))
+    return run
+
+
+def m(sender, seq, *deps):
+    return AppMessage(MessageId(sender, seq), f"m{sender}.{seq}", frozenset(deps))
+
+
+A, B, C = m(0, 0), m(1, 0), m(2, 0)
+B_DEP = m(1, 1, A.uid)  # causally after A
+
+
+def deliver(t, *messages):
+    return (t, ("deliver", tuple(messages)))
+
+
+def bcast(t, message):
+    return (t, ("broadcast-uid", message.uid, message.payload))
+
+
+class TestEtobChecker:
+    def test_accepts_clean_convergent_run(self):
+        outputs = {
+            0: [bcast(1, A), deliver(5, A), deliver(9, A, B)],
+            1: [bcast(2, B), deliver(6, A), deliver(10, A, B)],
+        }
+        report = check_etob(make_run(2, outputs))
+        assert report.ok, report.violations
+        assert report.tau == 0
+
+    def test_detects_phantom_message(self):
+        outputs = {
+            0: [deliver(5, A)],  # A was never broadcast
+            1: [],
+        }
+        report = check_etob(make_run(2, outputs))
+        assert not report.no_creation_ok
+
+    def test_detects_duplication(self):
+        outputs = {0: [bcast(1, A), deliver(5, A, A)], 1: []}
+        report = check_etob(make_run(2, outputs))
+        assert not report.no_duplication_ok
+
+    def test_detects_agreement_violation(self):
+        outputs = {
+            0: [bcast(1, A), bcast(1, B), deliver(5, A, B)],
+            1: [deliver(6, B)],  # never stably delivers A
+        }
+        report = check_etob(make_run(2, outputs))
+        assert not report.agreement_ok
+
+    def test_detects_validity_violation(self):
+        outputs = {
+            0: [bcast(1, A)],  # own message never delivered
+            1: [],
+        }
+        report = check_etob(make_run(2, outputs))
+        assert not report.validity_ok
+
+    def test_finds_tau_for_stability_violation(self):
+        outputs = {
+            0: [bcast(1, A), bcast(1, B), deliver(5, A), deliver(8, B, A),
+                deliver(12, B, A)],
+            1: [deliver(9, B, A)],
+        }
+        report = check_etob(make_run(2, outputs))
+        # The sequence at p0 changed from (A) to (B, A): not an extension.
+        assert report.tau_stability == 9
+        assert report.stability_violations == 1
+
+    def test_finds_tau_for_order_violation(self):
+        outputs = {
+            0: [bcast(1, A), bcast(1, B), deliver(5, A, B), deliver(20, A, B)],
+            1: [deliver(7, B, A), deliver(21, A, B)],
+        }
+        report = check_etob(make_run(2, outputs))
+        # The (A,B)-vs-(B,A) conflict persists until p1 repairs its sequence
+        # at t=21, so total order only holds from t=21 on.
+        assert report.tau_total_order == 21
+        assert report.order_violations >= 1
+
+    def test_strong_tob_rejects_divergence(self):
+        from repro.properties import check_tob
+
+        outputs = {
+            0: [bcast(1, A), bcast(1, B), deliver(5, A, B), deliver(20, A, B)],
+            1: [deliver(7, B, A), deliver(21, A, B)],
+        }
+        report = check_tob(make_run(2, outputs))
+        assert not report.ok
+        assert any("total order" in v for v in report.violations)
+
+
+class TestCausalChecker:
+    def test_accepts_causal_order(self):
+        outputs = {
+            0: [bcast(1, A), bcast(3, B_DEP), deliver(5, A, B_DEP)],
+            1: [deliver(6, A, B_DEP)],
+        }
+        report = check_causal_order(make_run(2, outputs))
+        assert report.ok
+        assert report.pairs_checked == 2
+
+    def test_detects_causal_violation(self):
+        outputs = {
+            0: [bcast(1, A), bcast(3, B_DEP), deliver(5, B_DEP, A)],
+            1: [],
+        }
+        report = check_causal_order(make_run(2, outputs))
+        assert not report.ok
+
+    def test_transitive_violation_detected(self):
+        c_dep = m(2, 1, B_DEP.uid)  # A -> B_DEP -> c_dep
+        outputs = {
+            # A appears after c_dep although A is a transitive ancestor; the
+            # intermediate B_DEP is missing from p0's sequence but known to
+            # the checker through p1's snapshot (the universe is built from
+            # messages seen anywhere in the run).
+            0: [bcast(1, A), bcast(2, B_DEP), bcast(3, c_dep),
+                deliver(5, c_dep, A)],
+            1: [deliver(6, A, B_DEP, c_dep)],
+        }
+        report = check_causal_order(make_run(2, outputs))
+        assert not report.ok
+
+
+def propose(t, instance, value):
+    return (t, ("propose", instance, value))
+
+
+def decide(t, instance, value):
+    return (t, ("decide", instance, value))
+
+
+class TestEcChecker:
+    def test_accepts_agreeing_run(self):
+        outputs = {
+            0: [propose(0, 1, "a"), decide(5, 1, "a")],
+            1: [propose(0, 1, "b"), decide(6, 1, "a")],
+        }
+        report = check_ec(make_run(2, outputs), expected_instances=1)
+        assert report.ok
+        assert report.agreement_index == 1
+
+    def test_detects_integrity_violation(self):
+        outputs = {
+            0: [propose(0, 1, "a"), decide(5, 1, "a"), decide(9, 1, "a")],
+            1: [propose(0, 1, "a"), decide(6, 1, "a")],
+        }
+        report = check_ec(make_run(2, outputs), expected_instances=1)
+        assert not report.integrity_ok
+
+    def test_detects_validity_violation(self):
+        outputs = {
+            0: [propose(0, 1, "a"), decide(5, 1, "z")],
+            1: [propose(0, 1, "b"), decide(6, 1, "z")],
+        }
+        report = check_ec(make_run(2, outputs), expected_instances=1)
+        assert not report.validity_ok
+
+    def test_detects_missing_termination(self):
+        outputs = {
+            0: [propose(0, 1, "a"), decide(5, 1, "a")],
+            1: [propose(0, 1, "a")],
+        }
+        report = check_ec(make_run(2, outputs), expected_instances=1)
+        assert not report.termination_ok
+
+    def test_finds_agreement_index(self):
+        outputs = {
+            0: [propose(0, 1, "a"), decide(5, 1, "a"),
+                propose(6, 2, "c"), decide(9, 2, "c")],
+            1: [propose(0, 1, "b"), decide(6, 1, "b"),
+                propose(7, 2, "c"), decide(10, 2, "c")],
+        }
+        report = check_ec(make_run(2, outputs), expected_instances=2)
+        assert report.agreement_index == 2
+        assert report.agreement_time == 10
+
+    def test_unhashable_values_supported(self):
+        outputs = {
+            0: [propose(0, 1, ["seq"]), decide(5, 1, ["seq"])],
+            1: [propose(0, 1, ["seq"]), decide(6, 1, ["seq"])],
+        }
+        report = check_ec(make_run(2, outputs), expected_instances=1)
+        assert report.ok
+
+
+def revise(t, instance, value):
+    return (t, ("revise", instance, value))
+
+
+class TestEicChecker:
+    def test_accepts_run_with_early_revisions(self):
+        outputs = {
+            0: [propose(0, 1, "a"), decide(5, 1, "b"), revise(9, 1, "a")],
+            1: [propose(0, 1, "b"), decide(6, 1, "a")],
+        }
+        report = check_eic(make_run(2, outputs), expected_instances=1)
+        assert report.agreement_ok
+        assert report.total_revisions == 1
+        assert report.integrity_index == 2
+
+    def test_detects_final_disagreement(self):
+        outputs = {
+            0: [propose(0, 1, "a"), decide(5, 1, "a")],
+            1: [propose(0, 1, "b"), decide(6, 1, "b")],
+        }
+        report = check_eic(make_run(2, outputs), expected_instances=1)
+        assert not report.agreement_ok
+
+    def test_detects_invalid_revision(self):
+        outputs = {
+            0: [propose(0, 1, "a"), decide(5, 1, "a"), revise(9, 1, "zzz")],
+            1: [propose(0, 1, "a"), decide(6, 1, "zzz")],
+        }
+        report = check_eic(make_run(2, outputs), expected_instances=1)
+        assert not report.validity_ok

@@ -1,0 +1,103 @@
+"""Tests for the CHT replay sandbox."""
+
+import pytest
+
+from repro.cht.replay import InputNeeded, ReplaySandbox
+from repro.core import EcDriverLayer, EcUsingOmegaLayer
+from repro.sim import ProtocolStack
+
+
+def ec_factory(proposal_fn):
+    return ProtocolStack(
+        [EcUsingOmegaLayer(), EcDriverLayer(proposal_fn, max_instances=2)]
+    )
+
+
+class TestSandbox:
+    def test_first_step_demands_first_input(self):
+        sandbox = ReplaySandbox(2, ec_factory)
+        state = sandbox.initial_state()
+        with pytest.raises(InputNeeded) as exc:
+            sandbox.execute(state, 0, 0, deliver=False, inputs={})
+        assert exc.value.key == (0, 1)
+
+    def test_step_with_input_sends_promote(self):
+        sandbox = ReplaySandbox(2, ec_factory)
+        state = sandbox.initial_state()
+        state = sandbox.execute(state, 0, 0, deliver=False, inputs={(0, 1): 1})
+        # Algorithm 4 broadcasts promote(v, 1) to all, including itself.
+        assert state.pending_for(0) == 1
+        assert state.pending_for(1) == 1
+        assert state.steps_taken == 1
+
+    def test_aborted_step_leaves_state_reusable(self):
+        sandbox = ReplaySandbox(2, ec_factory)
+        state = sandbox.initial_state()
+        with pytest.raises(InputNeeded):
+            sandbox.execute(state, 0, 0, deliver=False, inputs={})
+        # Same state, now with the input: must work exactly as a fresh run.
+        after = sandbox.execute(state, 0, 0, deliver=False, inputs={(0, 1): 0})
+        assert after.pending_for(1) == 1
+
+    def test_branching_same_state_two_inputs(self):
+        sandbox = ReplaySandbox(2, ec_factory)
+        state = sandbox.initial_state()
+        s0 = sandbox.execute(state, 0, 0, deliver=False, inputs={(0, 1): 0})
+        s1 = sandbox.execute(state, 0, 0, deliver=False, inputs={(0, 1): 1})
+        # Both branches exist independently; the original is untouched.
+        assert state.steps_taken == 0
+        assert s0.steps_taken == s1.steps_taken == 1
+
+    def test_full_decision_path(self):
+        # p0 proposes 1; its promote reaches p1; p1 (trusting leader 0)
+        # decides p0's value in instance 1.
+        sandbox = ReplaySandbox(2, ec_factory)
+        state = sandbox.initial_state()
+        state = sandbox.execute(state, 0, 0, deliver=False, inputs={(0, 1): 1})
+        # Deciding instance 1 makes the driver propose instance 2 within the
+        # same step, so the instance-2 inputs must be available too.
+        inputs = {(0, 1): 1, (1, 1): 0, (0, 2): 0, (1, 2): 1}
+        state = sandbox.execute(state, 1, 0, deliver=False, inputs=inputs)  # p1 proposes 0
+        state = sandbox.execute(state, 1, 0, deliver=True, inputs=inputs)  # receives promote
+        # p1's oldest pending message is p0's promote; after consuming it the
+        # timeout clause decides instance 1 with p0's value... unless p1's own
+        # promote arrived first (FIFO). Drain until a decision appears.
+        guard = 0
+        while not state.decisions and guard < 4:
+            if state.pending_for(1):
+                state = sandbox.execute(state, 1, 0, deliver=True, inputs=inputs)
+            guard += 1
+        assert state.decisions, "p1 never decided"
+        decision = state.decisions[0]
+        assert decision.pid == 1
+        assert decision.instance == 1
+        assert decision.value == 1  # the leader's proposal
+
+    def test_lambda_step_without_pending_ok(self):
+        sandbox = ReplaySandbox(2, ec_factory)
+        state = sandbox.initial_state()
+        state = sandbox.execute(state, 1, 1, deliver=False, inputs={(1, 1): 0})
+        assert state.started[1]
+
+    def test_deliver_without_pending_raises(self):
+        sandbox = ReplaySandbox(2, ec_factory)
+        state = sandbox.initial_state()
+        with pytest.raises(ValueError):
+            sandbox.execute(state, 0, 0, deliver=True, inputs={(0, 1): 0})
+
+    def test_disagreement_detection(self):
+        from repro.cht.replay import Decision, ReplayState
+
+        state = ReplayState(
+            automata=(),
+            started=(),
+            buffers=(),
+            decisions=(
+                Decision(0, 1, 0),
+                Decision(1, 1, 1),
+                Decision(0, 2, 1),
+            ),
+        )
+        assert state.has_disagreement(1)
+        assert not state.has_disagreement(2)
+        assert state.decided_values(1) == {0, 1}

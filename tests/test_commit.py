@@ -1,0 +1,80 @@
+"""Tests for committed-prefix indications (paper, Section 7)."""
+
+from repro.core import EtobLayer
+from repro.detectors import OmegaDetector
+from repro.replication import CommittedPrefixLayer, KvStore, ReplicaLayer
+from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+
+
+def commit_sim(n=3, tau_omega=0, quorum=None, seed=0, timeout=4):
+    pattern = FailurePattern.no_failures(n)
+    detector = OmegaDetector(
+        stabilization_time=tau_omega, pre_behavior="rotate"
+    ).history(pattern, seed=seed)
+    procs = [
+        ProtocolStack(
+            [EtobLayer(), CommittedPrefixLayer(quorum=quorum), ReplicaLayer(KvStore())]
+        )
+        for _ in range(n)
+    ]
+    # Gossip of prefix reports is all-to-all; batched receives keep queues
+    # bounded (see Simulation.message_batch).
+    return Simulation(
+        procs,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(2),
+        timeout_interval=timeout,
+        seed=seed,
+        message_batch=8,
+    )
+
+
+class TestCommit:
+    def test_commits_advance_in_stable_period(self):
+        sim = commit_sim(n=3, tau_omega=0)
+        sim.add_input(0, 10, ("invoke", ("set", "a", 1)))
+        sim.add_input(1, 80, ("invoke", ("set", "b", 2)))
+        sim.run_until(800)
+        for pid in range(3):
+            commits = sim.run.tagged_outputs(pid, "committed")
+            assert commits, f"p{pid} saw no commit indication"
+            lengths = [length for __, (length,) in commits]
+            assert lengths == sorted(lengths), "commit lengths must be monotone"
+            assert lengths[-1] == 2
+
+    def test_no_commit_violations_with_full_quorum(self):
+        sim = commit_sim(n=4, tau_omega=250, seed=3, timeout=3)
+        for i in range(8):
+            sim.add_input(i % 4, 15 + i * 30, ("invoke", ("set", f"k{i}", i)))
+        sim.run_until(1500)
+        for pid in range(4):
+            layer = sim.processes[pid].layer("committed-prefix")
+            assert layer.commit_violations == 0
+            assert layer.committed_length == 8
+
+    def test_commits_lag_behind_deliveries(self):
+        sim = commit_sim(n=3, tau_omega=0)
+        sim.add_input(0, 10, ("invoke", ("set", "x", 1)))
+        sim.run_until(800)
+        for pid in range(3):
+            first_delivery = sim.run.tagged_outputs(pid, "deliver")[0][0]
+            first_commit = sim.run.tagged_outputs(pid, "committed")[0][0]
+            assert first_commit > first_delivery
+
+    def test_quorum_validation(self):
+        import pytest
+
+        layer = CommittedPrefixLayer(quorum=5)
+        with pytest.raises(ValueError):
+            layer.attach(0, 3)
+
+    def test_small_quorum_commits_faster(self):
+        sim_full = commit_sim(n=4, tau_omega=0, seed=1)
+        sim_two = commit_sim(n=4, tau_omega=0, quorum=2, seed=1)
+        for sim in (sim_full, sim_two):
+            sim.add_input(0, 10, ("invoke", ("set", "k", 1)))
+            sim.run_until(600)
+        t_full = sim_full.run.tagged_outputs(0, "committed")[0][0]
+        t_two = sim_two.run.tagged_outputs(0, "committed")[0][0]
+        assert t_two <= t_full

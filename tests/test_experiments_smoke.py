@@ -1,0 +1,73 @@
+"""Smoke tests for the experiment harness (reduced-size configurations).
+
+The full experiment parameters live in ``benchmarks/``; these verify that
+every experiment runner produces structurally sound results quickly, so a
+plain ``pytest tests/`` run still covers the harness code.
+"""
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    exp_ablation_promote_period,
+    exp_comm_steps,
+    exp_eic,
+    exp_etob_stabilization,
+    exp_partition_gap,
+    exp_tob_mode,
+)
+
+
+class TestExperimentSmoke:
+    def test_registry_is_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "EXP-1",
+            "EXP-2",
+            "EXP-3",
+            "EXP-4",
+            "EXP-5",
+            "EXP-6",
+            "EXP-7",
+            "EXP-8",
+            "EXP-9",
+            "EXP-10a",
+            "EXP-10b",
+            "EXP-10c",
+        }
+
+    def test_comm_steps_small(self):
+        result = exp_comm_steps(ns=(3,), delay=40, messages=3)
+        assert len(result.rows) == 3
+        etob, tob, ct = result.rows
+        assert etob["protocol"] == "etob"
+        assert etob["mean_steps"] < tob["mean_steps"] < ct["mean_steps"]
+        assert "EXP-1" in result.render()
+
+    def test_stabilization_small(self):
+        result = exp_etob_stabilization(taus=(0, 120))
+        assert all(r["ok"] for r in result.rows)
+        assert all(r["tau"] <= r["bound"] for r in result.rows)
+
+    def test_tob_mode_rows(self):
+        result = exp_tob_mode()
+        assert all(r["ok"] and r["tau"] == 0 for r in result.rows)
+
+    def test_partition_gap_shape(self):
+        result = exp_partition_gap()
+        availability = {
+            (r["protocol"], r["detector"]): r["available"] for r in result.rows
+        }
+        assert availability[("etob", "Omega")]
+        assert not availability[("tob-consensus", "Omega (majority quorums)")]
+
+    def test_eic_rows(self):
+        result = exp_eic()
+        assert all(r["ok"] for r in result.rows)
+
+    def test_promote_period_rows(self):
+        result = exp_ablation_promote_period(periods=(2, 8))
+        by_period = {r["period"]: r for r in result.rows}
+        assert by_period[8]["sent"] < by_period[2]["sent"]
+
+    def test_result_tables_render(self):
+        result = exp_tob_mode()
+        text = result.render()
+        assert "EXP-5" in text and "scenario" in text

@@ -1,0 +1,98 @@
+"""Model edge cases: snapshots, quiescence, and the Lemma 3 bound under
+random (non-FIFO) delays with Delta_c read as the *longest* delay."""
+
+from repro.core import EtobLayer
+from repro.detectors import OmegaDetector
+from repro.properties import check_etob
+from repro.sim import (
+    FailurePattern,
+    FixedDelay,
+    Process,
+    ProtocolStack,
+    Simulation,
+    UniformRandomDelay,
+)
+
+
+class TestProcessSnapshots:
+    def test_snapshot_restore_roundtrip(self):
+        class Stateful(Process):
+            def __init__(self):
+                self.items = []
+                self.table = {"nested": [1, 2]}
+
+        process = Stateful()
+        process.attach(1, 3)
+        snapshot = process.snapshot()
+        process.items.append("mutated")
+        process.table["nested"].append(3)
+        process.restore(snapshot)
+        assert process.items == []
+        assert process.table == {"nested": [1, 2]}
+        assert process.pid == 1
+
+    def test_snapshot_is_deep(self):
+        class Stateful(Process):
+            def __init__(self):
+                self.data = {"k": [1]}
+
+        process = Stateful()
+        snapshot = process.snapshot()
+        process.data["k"].append(2)
+        assert snapshot["data"] == {"k": [1]}
+
+    def test_stack_snapshot_covers_layers(self):
+        stack = ProtocolStack([EtobLayer()])
+        stack.attach(0, 2)
+        snapshot = stack.snapshot()
+        stack.layers[0].promote = ("poisoned",)
+        stack.restore(snapshot)
+        assert stack.layers[0].promote == ()
+
+
+class TestQuiescence:
+    def test_quiescent_run_with_grace(self):
+        class Once(Process):
+            def __init__(self):
+                self.sent = False
+
+            def on_timeout(self, ctx):
+                if not self.sent:
+                    self.sent = True
+                    ctx.send_all("only", include_self=False)
+
+        sim = Simulation(
+            [Once(), Once()], delay_model=FixedDelay(3), timeout_interval=4
+        )
+        sim.run_until(10)  # let the timers fire and the sends happen
+        sim.run_until_quiescent(grace=2)
+        assert sim.network.in_transit() == 0
+        assert sim.network.delivered_count == 2
+
+
+class TestLemma3BoundRandomDelays:
+    def test_bound_with_longest_delay(self):
+        # Delta_c is "the longest communication delay between two correct
+        # processes" — with random delays in [2, hi], the bound must use hi.
+        n, timeout, hi = 4, 3, 25
+        tau_omega = 200
+        pattern = FailurePattern.no_failures(n)
+        detector = OmegaDetector(
+            stabilization_time=tau_omega, pre_behavior="rotate"
+        ).history(pattern, seed=5)
+        sim = Simulation(
+            [ProtocolStack([EtobLayer()]) for _ in range(n)],
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=UniformRandomDelay(2, hi, seed=5),
+            timeout_interval=timeout,
+            seed=5,
+            message_batch=4,
+        )
+        for i in range(8):
+            sim.add_input(i % n, 15 + i * 30, ("broadcast", f"m{i}"))
+        sim.run_until(1500)
+        report = check_etob(sim.run)
+        assert report.ok, report.violations
+        bound = tau_omega + (timeout + n) + hi
+        assert report.tau <= bound, (report.tau, bound)

@@ -1,0 +1,151 @@
+"""Unit tests for the network and delay models."""
+
+import pytest
+
+from repro.sim.network import (
+    FixedDelay,
+    GstDelay,
+    Network,
+    PartitionWindow,
+    PartitionedDelay,
+    UniformRandomDelay,
+)
+from repro.sim.types import NEVER
+
+
+class TestDelayModels:
+    def test_fixed_delay(self):
+        assert FixedDelay(3).delay(0, 1, 100) == 3
+
+    def test_fixed_delay_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FixedDelay(0)
+
+    def test_uniform_delay_in_bounds_and_deterministic(self):
+        a = UniformRandomDelay(2, 9, seed=5)
+        b = UniformRandomDelay(2, 9, seed=5)
+        seq_a = [a.delay(0, 1, t) for t in range(50)]
+        seq_b = [b.delay(0, 1, t) for t in range(50)]
+        assert seq_a == seq_b
+        assert all(2 <= d <= 9 for d in seq_a)
+
+    def test_gst_delay_bounded_after_gst(self):
+        model = GstDelay(gst=100, pre_max=40, post_delay=3, seed=1)
+        assert all(model.delay(0, 1, t) <= 3 for t in range(100, 200))
+
+    def test_gst_delay_pre_messages_arrive_soon_after_gst(self):
+        model = GstDelay(gst=100, pre_max=1000, post_delay=3, seed=1)
+        for t in range(0, 100, 7):
+            assert t + model.delay(0, 1, t) <= 103
+
+
+class TestPartitionWindow:
+    def test_active_interval(self):
+        window = PartitionWindow(10, 20, (frozenset({0}), frozenset({1})))
+        assert not window.active(9)
+        assert window.active(10)
+        assert window.active(19)
+        assert not window.active(20)
+
+    def test_permanent_window(self):
+        window = PartitionWindow(10, None, (frozenset({0}), frozenset({1})))
+        assert window.active(10**9)
+
+    def test_separates_only_across_groups(self):
+        window = PartitionWindow(
+            0, 10, (frozenset({0, 1}), frozenset({2}))
+        )
+        assert window.separates(0, 2)
+        assert not window.separates(0, 1)
+        assert not window.separates(0, 3)  # p3 not in any group
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionWindow(0, 10, (frozenset({0, 1}), frozenset({1, 2})))
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionWindow(10, 10, (frozenset({0}), frozenset({1})))
+
+
+class TestPartitionedDelay:
+    def _model(self, end=50):
+        return PartitionedDelay(
+            FixedDelay(2),
+            [PartitionWindow(10, end, (frozenset({0, 1}), frozenset({2, 3})))],
+        )
+
+    def test_within_group_unaffected(self):
+        assert self._model().delay(0, 1, 20) == 2
+
+    def test_cross_group_held_until_heal(self):
+        model = self._model(end=50)
+        # Sent at t=20 across the cut: arrives at 50 + base = 52 => delay 32.
+        assert model.delay(0, 2, 20) == 32
+
+    def test_outside_window_unaffected(self):
+        assert self._model(end=50).delay(0, 2, 60) == 2
+
+    def test_permanent_partition_never_delivers(self):
+        model = PartitionedDelay(
+            FixedDelay(1),
+            [PartitionWindow(0, None, (frozenset({0}), frozenset({1})))],
+        )
+        assert model.delay(0, 1, 5) + 5 == NEVER
+
+
+class TestNetwork:
+    def test_send_then_deliver_in_time_order(self):
+        net = Network(2, FixedDelay(2))
+        net.send(0, 1, "a", 0)
+        net.send(0, 1, "b", 1)
+        assert net.pop_deliverable(1, 1) is None
+        first = net.pop_deliverable(1, 2)
+        assert first is not None and first.payload == "a"
+        second = net.pop_deliverable(1, 3)
+        assert second is not None and second.payload == "b"
+
+    def test_send_order_breaks_ties(self):
+        net = Network(2, FixedDelay(1))
+        net.send(0, 1, "x", 0)
+        net.send(0, 1, "y", 0)
+        assert net.pop_deliverable(1, 1).payload == "x"
+        assert net.pop_deliverable(1, 1).payload == "y"
+
+    def test_send_all_includes_self_by_default(self):
+        net = Network(3, FixedDelay(1))
+        envelopes = net.send_all(0, "m", 0)
+        assert {e.receiver for e in envelopes} == {0, 1, 2}
+
+    def test_send_all_can_exclude_self(self):
+        net = Network(3, FixedDelay(1))
+        envelopes = net.send_all(0, "m", 0, include_self=False)
+        assert {e.receiver for e in envelopes} == {1, 2}
+
+    def test_in_transit_counts(self):
+        net = Network(3, FixedDelay(5))
+        net.send_all(1, "m", 0)
+        assert net.in_transit() == 3
+        assert net.in_transit(receiver=0) == 1
+        assert net.pending_for({0, 2}) == 2
+
+    def test_peek_does_not_consume(self):
+        net = Network(2, FixedDelay(1))
+        net.send(0, 1, "m", 0)
+        assert net.peek_deliverable(1, 1).payload == "m"
+        assert net.peek_deliverable(1, 1).payload == "m"
+        assert net.pop_deliverable(1, 1).payload == "m"
+        assert net.peek_deliverable(1, 1) is None
+
+    def test_earliest_pending(self):
+        net = Network(3, FixedDelay(4))
+        assert net.earliest_pending({0, 1, 2}) is None
+        net.send(0, 2, "m", 10)
+        assert net.earliest_pending({2}) == 14
+
+    def test_counts_track_sends_and_deliveries(self):
+        net = Network(2, FixedDelay(1))
+        net.send(0, 1, "m", 0)
+        net.pop_deliverable(1, 5)
+        assert net.sent_count == 1
+        assert net.delivered_count == 1

@@ -1,0 +1,150 @@
+"""Tests for the Paxos consensus baseline (Omega + majority / Omega + Sigma)."""
+
+from repro.consensus import PaxosConsensusLayer
+from repro.core import EcDriverLayer
+from repro.detectors import CompositeDetector, OmegaDetector, SigmaDetector
+from repro.properties import check_ec
+from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+
+
+def paxos_sim(
+    n=5,
+    crashes=None,
+    tau_omega=0,
+    pre_behavior="rotate",
+    quorum_mode="majority",
+    instances=3,
+    seed=0,
+):
+    pattern = FailurePattern.crash(n, crashes or {})
+    omega = OmegaDetector(stabilization_time=tau_omega, pre_behavior=pre_behavior)
+    if quorum_mode == "sigma":
+        detector = CompositeDetector(
+            {"omega": omega, "sigma": SigmaDetector(stabilization_time=tau_omega)}
+        ).history(pattern, seed=seed)
+    else:
+        detector = omega.history(pattern, seed=seed)
+    procs = [
+        ProtocolStack(
+            [
+                PaxosConsensusLayer(quorum_mode=quorum_mode),
+                EcDriverLayer(max_instances=instances),
+            ]
+        )
+        for _ in range(n)
+    ]
+    return Simulation(
+        procs,
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(2),
+        timeout_interval=4,
+        seed=seed,
+    )
+
+
+class TestMajorityQuorums:
+    def test_agreement_from_instance_one_even_with_churn(self):
+        # Unlike EC, consensus never disagrees — even before Omega stabilizes.
+        sim = paxos_sim(n=4, tau_omega=200, instances=4, seed=3)
+        sim.run_until(4000)
+        report = check_ec(sim.run, expected_instances=4)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1, "strong consensus must never disagree"
+
+    def test_tolerates_minority_crashes(self):
+        sim = paxos_sim(n=5, crashes={3: 60, 4: 90}, instances=3)
+        sim.run_until(3000)
+        report = check_ec(sim.run, expected_instances=3)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1
+
+    def test_blocks_without_correct_majority(self):
+        # 2 of 5 correct: no decision must ever be reached.
+        sim = paxos_sim(n=5, crashes={0: 40, 1: 40, 2: 40}, tau_omega=100, instances=3)
+        sim.run_until(3000)
+        for pid in (3, 4):
+            decisions = [
+                (i, v)
+                for __, (i, v) in sim.run.tagged_outputs(pid, "decide")
+                # decisions reached strictly after the crashes
+            ]
+            post_crash = [
+                d
+                for t, d in zip(
+                    [t for t, __ in sim.run.tagged_outputs(pid, "decide")], decisions
+                )
+                if t > 60
+            ]
+            assert not post_crash, f"p{pid} decided without a majority: {post_crash}"
+
+    def test_leader_crash_recovery(self):
+        # The stable leader crashes; Omega re-stabilizes on the next process.
+        pattern = FailurePattern.crash(5, {0: 150})
+        detector = OmegaDetector(stabilization_time=0).history(pattern)
+        procs = [
+            ProtocolStack([PaxosConsensusLayer(), EcDriverLayer(max_instances=4)])
+            for _ in range(5)
+        ]
+        sim = Simulation(
+            procs,
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=FixedDelay(2),
+            timeout_interval=4,
+        )
+        sim.run_until(5000)
+        report = check_ec(sim.run, expected_instances=4)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1
+
+
+class TestSigmaQuorums:
+    def test_decides_with_majority(self):
+        sim = paxos_sim(n=4, quorum_mode="sigma", instances=3)
+        sim.run_until(3000)
+        report = check_ec(sim.run, expected_instances=3)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1
+
+    def test_decides_without_correct_majority(self):
+        # The headline gap: with Sigma, consensus is live even when only a
+        # minority (2 of 5) of processes is correct.
+        sim = paxos_sim(
+            n=5,
+            crashes={0: 40, 1: 40, 2: 40},
+            tau_omega=120,
+            quorum_mode="sigma",
+            instances=3,
+        )
+        sim.run_until(6000)
+        report = check_ec(sim.run, correct={3, 4}, expected_instances=3)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1
+
+
+class TestMechanics:
+    def test_rejects_non_integer_instances(self):
+        import pytest
+
+        from repro.sim.context import Context
+        from repro.sim.errors import ProtocolError
+        from repro.sim.stack import LayerContext, ProtocolStack as PS
+
+        stack = PS([PaxosConsensusLayer()])
+        stack.attach(0, 3)
+        ctx = LayerContext(stack, Context(pid=0, n=3, time=0, fd_value=0), 0)
+        with pytest.raises(ProtocolError):
+            stack.layers[0].on_call(ctx, ("propose", "one", "v"))
+
+    def test_rejects_unknown_quorum_mode(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PaxosConsensusLayer(quorum_mode="everyone")
+
+    def test_decided_value_is_some_proposal(self):
+        sim = paxos_sim(n=3, tau_omega=60, instances=5, seed=9)
+        sim.run_until(5000)
+        report = check_ec(sim.run, expected_instances=5)
+        assert report.validity_ok, report.violations

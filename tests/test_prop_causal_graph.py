@@ -1,0 +1,122 @@
+"""Property-based tests for the causal graph: the invariants Algorithm 5
+relies on (linearizations respect edges, extend prefixes, unions behave like
+set union on causally closed graphs)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.causal_graph import CausalGraph
+from repro.core.messages import AppMessage, MessageId
+
+
+@st.composite
+def closed_message_sets(draw, max_messages=10):
+    """A causally closed set of messages with random dependency edges.
+
+    Builds messages one at a time; each may depend on any subset of the
+    earlier ones — closure and acyclicity by construction.
+    """
+    count = draw(st.integers(min_value=0, max_value=max_messages))
+    messages: list[AppMessage] = []
+    for i in range(count):
+        sender = draw(st.integers(min_value=0, max_value=3))
+        dep_indices = draw(
+            st.sets(st.integers(min_value=0, max_value=max(0, i - 1)), max_size=i)
+        )
+        deps = frozenset(messages[j].uid for j in dep_indices if j < i)
+        messages.append(AppMessage(MessageId(sender, i), f"payload-{i}", deps))
+    return messages
+
+
+class TestLinearization:
+    @settings(max_examples=60)
+    @given(closed_message_sets())
+    def test_linearization_contains_all_once(self, messages):
+        graph = CausalGraph(messages)
+        order = graph.linearize_extending(())
+        assert sorted(m.uid for m in order) == sorted(m.uid for m in messages)
+
+    @settings(max_examples=60)
+    @given(closed_message_sets())
+    def test_linearization_respects_every_edge(self, messages):
+        graph = CausalGraph(messages)
+        order = graph.linearize_extending(())
+        position = {m.uid: i for i, m in enumerate(order)}
+        for message in messages:
+            for dep in message.deps:
+                assert position[dep] < position[message.uid]
+
+    @settings(max_examples=60)
+    @given(closed_message_sets())
+    def test_linearization_deterministic(self, messages):
+        g1, g2 = CausalGraph(messages), CausalGraph(messages)
+        assert g1.linearize_extending(()) == g2.linearize_extending(())
+
+    @settings(max_examples=60)
+    @given(closed_message_sets(), closed_message_sets())
+    def test_incremental_extension_preserves_prefix(self, first, second):
+        # Renumber the second batch so uids do not collide with the first.
+        offset = len(first)
+        remap = {}
+        renumbered = []
+        for message in second:
+            new_uid = MessageId(message.uid.sender, message.uid.seq + offset)
+            remap[message.uid] = new_uid
+            renumbered.append(
+                AppMessage(
+                    new_uid,
+                    message.payload,
+                    frozenset(remap[d] for d in message.deps),
+                )
+            )
+        graph = CausalGraph(first)
+        prefix = graph.linearize_extending(())
+        graph.union(renumbered)
+        extended = graph.linearize_extending(prefix)
+        assert extended[: len(prefix)] == prefix
+        assert len(extended) == len(first) + len(renumbered)
+
+    @settings(max_examples=60)
+    @given(closed_message_sets())
+    def test_frontier_messages_have_no_successors(self, messages):
+        graph = CausalGraph(messages)
+        frontier = graph.frontier()
+        for message in messages:
+            for dep in message.deps:
+                assert dep not in frontier
+
+
+class TestUnionAlgebra:
+    @settings(max_examples=60)
+    @given(closed_message_sets(), closed_message_sets(max_messages=6))
+    def test_union_commutative_on_message_sets(self, a, b):
+        # Make uids disjoint by sender space.
+        b = [
+            AppMessage(
+                MessageId(m.uid.sender + 10, m.uid.seq),
+                m.payload,
+                frozenset(MessageId(d.sender + 10, d.seq) for d in m.deps),
+            )
+            for m in b
+        ]
+        g1 = CausalGraph(a)
+        g1.union(b)
+        g2 = CausalGraph(b)
+        g2.union(a)
+        assert {m.uid for m in g1} == {m.uid for m in g2}
+
+    @settings(max_examples=60)
+    @given(closed_message_sets())
+    def test_union_idempotent(self, a):
+        graph = CausalGraph(a)
+        graph.union(CausalGraph(a))
+        assert len(graph) == len(a)
+
+    @settings(max_examples=60)
+    @given(closed_message_sets())
+    def test_ancestors_are_transitive(self, messages):
+        graph = CausalGraph(messages)
+        for message in messages:
+            ancestors = graph.ancestors(message.uid)
+            for ancestor in ancestors:
+                assert graph.ancestors(ancestor) <= ancestors

@@ -1,0 +1,142 @@
+"""Property-based tests for detector oracles, failure patterns and the CHT DAG."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cht import SampleDag
+from repro.detectors import OmegaDetector, SigmaDetector
+from repro.sim.failures import FailurePattern
+
+
+@st.composite
+def failure_patterns(draw, max_n=6):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    k = draw(st.integers(min_value=0, max_value=n - 1))
+    faulty = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            max_size=k,
+            unique=True,
+        )
+    )
+    crash_times = {
+        pid: draw(st.integers(min_value=0, max_value=500)) for pid in faulty
+    }
+    return FailurePattern(n, crash_times)
+
+
+class TestFailurePatternProperties:
+    @settings(max_examples=40)
+    @given(failure_patterns(), st.integers(min_value=0, max_value=600))
+    def test_crashed_set_monotone(self, pattern, t):
+        assert pattern.crashed_set(t) <= pattern.crashed_set(t + 1)
+
+    @settings(max_examples=40)
+    @given(failure_patterns(), st.integers(min_value=0, max_value=600))
+    def test_alive_partitions(self, pattern, t):
+        alive = pattern.alive_at(t)
+        crashed = pattern.crashed_set(t)
+        assert alive | crashed == frozenset(range(pattern.n))
+        assert not (alive & crashed)
+
+    @settings(max_examples=40)
+    @given(failure_patterns())
+    def test_faulty_eventually_crashed(self, pattern):
+        horizon = pattern.last_crash_time()
+        assert pattern.crashed_set(horizon) == pattern.faulty
+
+
+class TestOmegaProperties:
+    @settings(max_examples=40)
+    @given(
+        failure_patterns(),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=99),
+    )
+    def test_stable_correct_leader_after_tau(self, pattern, tau, seed):
+        hist = OmegaDetector(
+            stabilization_time=tau, pre_behavior="random"
+        ).history(pattern, seed=seed)
+        leaders = {
+            hist.query(pid, t)
+            for pid in pattern.correct
+            for t in range(tau, tau + 50, 7)
+        }
+        assert len(leaders) == 1
+        assert next(iter(leaders)) in pattern.correct
+
+    @settings(max_examples=40)
+    @given(failure_patterns(), st.integers(min_value=0, max_value=99))
+    def test_output_always_a_process_id(self, pattern, seed):
+        hist = OmegaDetector(stabilization_time=50, pre_behavior="random").history(
+            pattern, seed=seed
+        )
+        for t in range(0, 80, 11):
+            for pid in range(pattern.n):
+                assert 0 <= hist.query(pid, t) < pattern.n
+
+
+class TestSigmaProperties:
+    @settings(max_examples=40)
+    @given(
+        failure_patterns(),
+        st.integers(min_value=0, max_value=150),
+        st.integers(min_value=0, max_value=99),
+    )
+    def test_pairwise_intersection_always(self, pattern, tau, seed):
+        hist = SigmaDetector(stabilization_time=tau).history(pattern, seed=seed)
+        samples = [
+            hist.query(pid, t)
+            for pid in range(pattern.n)
+            for t in range(0, tau + 60, 23)
+        ]
+        for i, a in enumerate(samples):
+            for b in samples[i + 1 :]:
+                assert a & b, "Sigma quorums must pairwise intersect"
+
+    @settings(max_examples=40)
+    @given(failure_patterns(), st.integers(min_value=0, max_value=99))
+    def test_eventually_only_correct(self, pattern, seed):
+        tau = 40
+        hist = SigmaDetector(stabilization_time=tau).history(pattern, seed=seed)
+        for pid in pattern.correct:
+            for t in range(tau, tau + 40, 7):
+                assert hist.query(pid, t) <= pattern.correct
+
+
+class TestDagProperties:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=15,
+        )
+    )
+    def test_local_construction_invariants(self, samples):
+        dag = SampleDag()
+        for pid, value in samples:
+            dag.add_sample(pid, value)
+        assert dag.is_transitively_closed()
+        assert dag.respects_query_order()
+        assert len(dag) == len(samples)
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=9999))
+    def test_gossip_union_preserves_invariants(self, seed):
+        rng = random.Random(seed)
+        dags = [SampleDag() for _ in range(3)]
+        for __ in range(12):
+            actor = rng.randrange(3)
+            if rng.random() < 0.6:
+                dags[actor].add_sample(actor, rng.randrange(3))
+            else:
+                other = rng.randrange(3)
+                dags[actor].union(dags[other].snapshot())
+        for dag in dags:
+            assert dag.is_transitively_closed()
+            assert dag.respects_query_order()

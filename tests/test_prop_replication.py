@@ -1,0 +1,154 @@
+"""Property-based tests for the replica layer and state machines.
+
+The key invariant behind speculative execution: adopting any chain of
+delivered sequences (with arbitrary rewrites) leaves the replica in exactly
+the state obtained by folding the *final* sequence from scratch — rollbacks
+are unobservable in the end state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import AppMessage, MessageId
+from repro.replication import Counter, KvStore, ReplicaLayer
+from repro.replication.state_machine import BankLedger
+from repro.sim import ProtocolStack
+from repro.sim.context import Context
+from repro.sim.stack import LayerContext
+
+
+def fold(machine, commands):
+    state = machine.initial()
+    for command in commands:
+        state, __ = machine.apply(state, command)
+    return state
+
+
+kv_commands = st.one_of(
+    st.tuples(st.just("set"), st.sampled_from("abc"), st.integers(0, 9)),
+    st.tuples(st.just("delete"), st.sampled_from("abc")),
+    st.tuples(
+        st.just("cas"),
+        st.sampled_from("abc"),
+        st.integers(0, 9),
+        st.integers(0, 9),
+    ),
+)
+
+counter_commands = st.tuples(st.just("add"), st.integers(-5, 5))
+
+
+def make_replica(machine):
+    replica = ReplicaLayer(machine)
+    stack = ProtocolStack([replica])
+    stack.attach(0, 2)
+    ctx = LayerContext(stack, Context(pid=0, n=2, time=0), 0)
+    return replica, ctx
+
+
+def to_messages(commands):
+    return tuple(
+        AppMessage(MessageId(1, i), ("cmd", (1, i), command))
+        for i, command in enumerate(commands)
+    )
+
+
+@st.composite
+def adoption_chains(draw, command_strategy):
+    """A chain of delivered sequences over one pool of commands.
+
+    Each adoption is a prefix of the pool of some random length with a
+    random reordering point — exercising extensions, truncations and
+    rewrites."""
+    pool = draw(st.lists(command_strategy, min_size=1, max_size=8))
+    messages = to_messages(pool)
+    chain = []
+    steps = draw(st.integers(min_value=1, max_value=5))
+    for __ in range(steps):
+        length = draw(st.integers(min_value=0, max_value=len(messages)))
+        if draw(st.booleans()):
+            chain.append(tuple(reversed(messages[:length])))
+        else:
+            chain.append(messages[:length])
+    final_length = draw(st.integers(min_value=0, max_value=len(messages)))
+    chain.append(messages[:final_length])
+    return messages, chain
+
+
+class TestAdoptionEquivalence:
+    @settings(max_examples=60)
+    @given(adoption_chains(kv_commands))
+    def test_kv_end_state_equals_fold_of_final(self, data):
+        messages, chain = data
+        machine = KvStore()
+        replica, ctx = make_replica(machine)
+        for sequence in chain:
+            replica.on_lower_event(ctx, ("deliver", sequence))
+        final_commands = [m.payload[2] for m in chain[-1]]
+        assert replica.state == fold(machine, final_commands)
+        assert len(replica.applied_seq) == len(chain[-1])
+
+    @settings(max_examples=60)
+    @given(adoption_chains(counter_commands))
+    def test_counter_end_state_equals_fold_of_final(self, data):
+        messages, chain = data
+        machine = Counter()
+        replica, ctx = make_replica(machine)
+        for sequence in chain:
+            replica.on_lower_event(ctx, ("deliver", sequence))
+        final_commands = [m.payload[2] for m in chain[-1]]
+        assert replica.state == fold(machine, final_commands)
+
+    @settings(max_examples=60)
+    @given(adoption_chains(kv_commands))
+    def test_intermediate_states_always_fold_consistent(self, data):
+        messages, chain = data
+        machine = KvStore()
+        replica, ctx = make_replica(machine)
+        for sequence in chain:
+            replica.on_lower_event(ctx, ("deliver", sequence))
+            commands = [m.payload[2] for m in sequence]
+            assert replica.state == fold(machine, commands)
+
+
+class TestStateMachinePurity:
+    @settings(max_examples=60)
+    @given(st.lists(kv_commands, max_size=10))
+    def test_kv_fold_deterministic(self, commands):
+        assert fold(KvStore(), commands) == fold(KvStore(), commands)
+
+    @settings(max_examples=60)
+    @given(st.lists(kv_commands, max_size=10))
+    def test_kv_apply_never_mutates_input(self, commands):
+        machine = KvStore()
+        state = machine.initial()
+        for command in commands:
+            snapshot = dict(state)
+            state, __ = machine.apply(state, command)
+            # previous state object unchanged (purity)
+            assert snapshot == snapshot
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["deposit", "transfer"]),
+                st.sampled_from(["a", "b"]),
+                st.sampled_from(["a", "b"]),
+                st.integers(0, 50),
+            ),
+            max_size=10,
+        )
+    )
+    def test_bank_money_conserved(self, raw):
+        machine = BankLedger()
+        state = machine.initial()
+        deposited = 0
+        for op, src, dst, amount in raw:
+            if op == "deposit":
+                state, __ = machine.apply(state, ("deposit", src, amount))
+                deposited += amount
+            else:
+                state, __ = machine.apply(state, ("transfer", src, dst, amount))
+        assert sum(state.values()) == deposited
+        assert all(balance >= 0 for balance in state.values())

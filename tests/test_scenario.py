@@ -1,0 +1,130 @@
+"""Tests for the fluent scenario builder."""
+
+import pytest
+
+from repro.properties import check_ec, check_eic, check_etob, check_tob
+from repro.replication import Counter
+from repro.scenario import Scenario
+from repro.sim.errors import ConfigurationError
+
+
+class TestBuilding:
+    def test_requires_a_protocol(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(3).build()
+
+    def test_crash_configures_pattern(self):
+        sim = Scenario(3).crash(1, at=50).etob().omega().build()
+        assert sim.failure_pattern.crash_time(1) == 50
+
+    def test_crash_majority(self):
+        sim = Scenario(5).crash_majority(at=100).etob().omega(leader=4).build()
+        assert sim.failure_pattern.faulty == frozenset({0, 1, 2})
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(0)
+
+    def test_explicit_detector_history_wins(self):
+        from repro.detectors import ScriptedHistory
+
+        history = ScriptedHistory(lambda pid, t: 2)
+        sim = Scenario(3).detector(history).etob().build()
+        assert sim.detector is history
+
+
+class TestEndToEnd:
+    def test_etob_scenario(self):
+        sim = (
+            Scenario(4, seed=3)
+            .crash(3, at=300)
+            .omega(tau=150, pre="rotate")
+            .fixed_delays(2)
+            .timeout_interval(4)
+            .etob()
+            .broadcast(0, 20, "a")
+            .broadcast(1, 60, "b")
+            .run(900)
+        )
+        report = check_etob(sim.run)
+        assert report.ok, report.violations
+
+    def test_ec_scenario(self):
+        sim = Scenario(3).omega().ec(instances=5).run(700)
+        report = check_ec(sim.run, expected_instances=5)
+        assert report.ok, report.violations
+
+    def test_eic_scenario(self):
+        sim = Scenario(3).omega().eic(instances=5).run(900)
+        report = check_eic(sim.run, expected_instances=5)
+        assert report.ok, report.violations
+
+    def test_strong_tob_scenario(self):
+        sim = (
+            Scenario(4)
+            .omega()
+            .strong_tob()
+            .message_batch(4)
+            .broadcast(0, 10, "x")
+            .broadcast(1, 80, "y")
+            .run(2500)
+        )
+        report = check_tob(sim.run)
+        assert report.ok, report.violations
+
+    def test_strong_tob_with_sigma_quorums(self):
+        sim = (
+            Scenario(5, seed=1)
+            .crash_majority(at=100)
+            .omega(tau=150, leader=4)
+            .strong_tob(quorum="sigma")
+            .message_batch(4)
+            .broadcast(3, 250, "minority-write")
+            .run(5000)
+        )
+        from repro.core.messages import payloads
+        from repro.properties import extract_timeline
+
+        tl = extract_timeline(sim.run)
+        assert "minority-write" in payloads(tl.final_sequence(4))
+
+    def test_replicated_counter(self):
+        sim = (
+            Scenario(3)
+            .omega()
+            .replicated(Counter, commit=True)
+            .message_batch(8)
+            .invoke(0, 10, ("add", 2))
+            .invoke(1, 60, ("add", 3))
+            .run(700)
+        )
+        states = [sim.processes[p].layer("replica").state for p in range(3)]
+        assert states == [5, 5, 5]
+        assert sim.run.tagged_outputs(0, "committed")
+
+    def test_gst_delays_with_random_scheduling(self):
+        sim = (
+            Scenario(3, seed=9)
+            .gst_delays(gst=100, pre_max=20, post=2)
+            .random_scheduling()
+            .omega()
+            .etob()
+            .broadcast(0, 30, "m")
+            .run(600)
+        )
+        report = check_etob(sim.run)
+        assert report.ok, report.violations
+
+    def test_determinism_same_seed(self):
+        def run_once():
+            sim = (
+                Scenario(3, seed=42)
+                .random_delays(2, 20)
+                .omega(tau=80)
+                .etob()
+                .broadcast(0, 10, "m")
+                .run(400)
+            )
+            return [(s.time, s.pid, s.sent) for s in sim.run.steps]
+
+        assert run_once() == run_once()

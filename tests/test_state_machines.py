@@ -1,0 +1,109 @@
+"""Unit tests for the deterministic state machines."""
+
+import pytest
+
+from repro.replication import AppendLog, BankLedger, Counter, KvStore
+
+
+class TestKvStore:
+    def setup_method(self):
+        self.sm = KvStore()
+
+    def test_set_and_get(self):
+        state = self.sm.initial()
+        state, result = self.sm.apply(state, ("set", "k", 1))
+        assert result == 1
+        __, value = self.sm.apply(state, ("get", "k"))
+        assert value == 1
+
+    def test_get_missing_returns_none(self):
+        __, value = self.sm.apply(self.sm.initial(), ("get", "nope"))
+        assert value is None
+
+    def test_delete(self):
+        state = self.sm.initial()
+        state, __ = self.sm.apply(state, ("set", "k", 9))
+        state, removed = self.sm.apply(state, ("delete", "k"))
+        assert removed == 9
+        __, value = self.sm.apply(state, ("get", "k"))
+        assert value is None
+
+    def test_cas_success_and_failure(self):
+        state = self.sm.initial()
+        state, __ = self.sm.apply(state, ("set", "k", "a"))
+        state, ok = self.sm.apply(state, ("cas", "k", "a", "b"))
+        assert ok
+        state, ok = self.sm.apply(state, ("cas", "k", "a", "c"))
+        assert not ok
+        __, value = self.sm.apply(state, ("get", "k"))
+        assert value == "b"
+
+    def test_apply_is_pure(self):
+        state = self.sm.initial()
+        new_state, __ = self.sm.apply(state, ("set", "k", 1))
+        assert state == {}
+        assert new_state == {"k": 1}
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(ValueError):
+            self.sm.apply(self.sm.initial(), ("increment", "k"))
+
+
+class TestCounter:
+    def test_add_and_read(self):
+        sm = Counter()
+        state = sm.initial()
+        state, value = sm.apply(state, ("add", 5))
+        assert value == 5
+        state, value = sm.apply(state, ("add", -2))
+        assert value == 3
+        __, value = sm.apply(state, ("read",))
+        assert value == 3
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(ValueError):
+            Counter().apply(0, ("mult", 2))
+
+
+class TestBankLedger:
+    def setup_method(self):
+        self.sm = BankLedger()
+
+    def test_deposit_and_balance(self):
+        state = self.sm.initial()
+        state, balance = self.sm.apply(state, ("deposit", "alice", 100))
+        assert balance == 100
+        __, balance = self.sm.apply(state, ("balance", "alice"))
+        assert balance == 100
+
+    def test_transfer_success(self):
+        state = self.sm.initial()
+        state, __ = self.sm.apply(state, ("deposit", "alice", 100))
+        state, ok = self.sm.apply(state, ("transfer", "alice", "bob", 40))
+        assert ok
+        assert state == {"alice": 60, "bob": 40}
+
+    def test_overdraft_fails_without_applying(self):
+        state = self.sm.initial()
+        state, __ = self.sm.apply(state, ("deposit", "alice", 10))
+        new_state, ok = self.sm.apply(state, ("transfer", "alice", "bob", 40))
+        assert not ok
+        assert new_state == state
+
+    def test_negative_amounts_rejected(self):
+        with pytest.raises(ValueError):
+            self.sm.apply(self.sm.initial(), ("deposit", "a", -1))
+        with pytest.raises(ValueError):
+            self.sm.apply({"a": 10}, ("transfer", "a", "b", -5))
+
+
+class TestAppendLog:
+    def test_append_and_len(self):
+        sm = AppendLog()
+        state = sm.initial()
+        state, length = sm.apply(state, ("append", "x"))
+        assert length == 1
+        state, length = sm.apply(state, ("append", "y"))
+        assert state == ("x", "y")
+        __, length = sm.apply(state, ("len",))
+        assert length == 2

@@ -1,0 +1,61 @@
+"""Tests for the strong TOB baseline (consensus-based, [3])."""
+
+from repro.core.messages import payloads
+from repro.properties import check_tob, extract_timeline
+
+from tests.helpers import feed_broadcasts, strong_tob_sim
+
+
+class TestStrongTob:
+    def test_satisfies_strong_tob_spec(self):
+        sim = strong_tob_sim(n=4)
+        feed_broadcasts(sim, [(0, 10, "a"), (1, 60, "b"), (2, 140, "c")])
+        sim.run_until(3000)
+        report = check_tob(sim.run)
+        assert report.ok, report.violations
+
+    def test_strong_even_during_leader_churn(self):
+        # The crucial contrast with ETOB: consensus-based TOB never exhibits a
+        # divergence window, even before Omega stabilizes.
+        sim = strong_tob_sim(n=4, tau_omega=400, seed=2)
+        feed_broadcasts(sim, [(p, 20 + 60 * i, f"m{i}.{p}") for i in range(3) for p in range(4)])
+        sim.run_until(6000)
+        report = check_tob(sim.run)
+        assert report.ok, report.violations
+        assert report.etob.tau == 0
+
+    def test_tolerates_minority_crashes(self):
+        sim = strong_tob_sim(n=5, crashes={4: 100})
+        feed_broadcasts(sim, [(0, 10, "a"), (4, 50, "early"), (1, 200, "late")])
+        sim.run_until(4000)
+        report = check_tob(sim.run)
+        assert report.ok, report.violations
+
+    def test_blocks_without_majority(self):
+        # Crash 3 of 5 at t=100; messages broadcast afterwards are never
+        # delivered in majority mode — the availability gap of the paper.
+        sim = strong_tob_sim(n=5, crashes={0: 100, 1: 100, 2: 100})
+        feed_broadcasts(sim, [(3, 150, "stuck")])
+        sim.run_until(4000)
+        tl = extract_timeline(sim.run)
+        for pid in (3, 4):
+            assert "stuck" not in payloads(tl.final_sequence(pid))
+
+    def test_sigma_mode_survives_minority_correct(self):
+        sim = strong_tob_sim(
+            n=5, crashes={0: 100, 1: 100, 2: 100}, tau_omega=150, quorum_mode="sigma"
+        )
+        feed_broadcasts(sim, [(3, 200, "alive")])
+        sim.run_until(6000)
+        tl = extract_timeline(sim.run)
+        for pid in (3, 4):
+            assert "alive" in payloads(tl.final_sequence(pid))
+
+    def test_all_correct_deliver_same_sequence(self):
+        sim = strong_tob_sim(n=4, seed=5)
+        feed_broadcasts(sim, [(p, 10 + 35 * p, f"x{p}") for p in range(4)])
+        sim.run_until(4000)
+        tl = extract_timeline(sim.run)
+        finals = {payloads(tl.final_sequence(pid)) for pid in range(4)}
+        assert len(finals) == 1
+        assert set(next(iter(finals))) == {"x0", "x1", "x2", "x3"}

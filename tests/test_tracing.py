@@ -1,0 +1,79 @@
+"""Tests for the run-tracing helpers."""
+
+from repro.core.messages import AppMessage, MessageId
+from repro.sim.failures import FailurePattern
+from repro.sim.runs import RunRecord
+from repro.sim.tracing import decision_table, sequence_comparison, timeline
+
+
+def make_run():
+    a = AppMessage(MessageId(0, 0), "a")
+    b = AppMessage(MessageId(1, 0), "b")
+    run = RunRecord(2, FailurePattern.crash(2, {1: 30}))
+    run.output_history[0] = [
+        (1, ("broadcast-uid", a.uid, "a")),
+        (5, ("deliver", (a,))),
+        (9, ("deliver", (a, b))),
+        (11, ("decide", 1, "v")),
+    ]
+    run.output_history[1] = [
+        (2, ("broadcast-uid", b.uid, "b")),
+        (7, ("deliver", (b, a))),
+        (12, ("decide", 1, "w")),
+    ]
+    run.end_time = 40
+    return run
+
+
+class TestTimeline:
+    def test_contains_events_in_time_order(self):
+        import re
+
+        text = timeline(make_run())
+        lines = text.splitlines()
+        times = [int(re.search(r"t=\s*(\d+)", line).group(1)) for line in lines]
+        assert times == sorted(times)
+        assert any("cast" in line for line in lines)
+        assert any("|d|=2" in line for line in lines)
+
+    def test_crash_annotated(self):
+        text = timeline(make_run())
+        assert "CRASH" in text
+        assert "t=30  p1" in text
+
+    def test_window_and_pid_filters(self):
+        text = timeline(make_run(), pids=[0], start=4, end=10)
+        assert "p1" not in text
+        assert "cast" not in text  # broadcast was at t=1
+        assert "|d|=1" in text
+
+    def test_decide_rendering(self):
+        text = timeline(make_run())
+        assert "[1]='v'" in text
+
+
+class TestSequenceComparison:
+    def test_flags_divergence_position(self):
+        text = sequence_comparison(make_run(), at=8)
+        # p0 has (a,), p1 has (b, a): disagreement from position 0.
+        assert "common prefix: 0" in text
+        assert "!a" in text and "!b" in text
+
+    def test_no_flags_when_identical(self):
+        run = make_run()
+        run.output_history[1][1] = (7, ("deliver", run.output_history[0][1][1][1]))
+        text = sequence_comparison(run, at=8)
+        assert "!" not in text.split(":", 2)[2]
+
+
+class TestDecisionTable:
+    def test_grid_contains_all_decisions(self):
+        text = decision_table(make_run())
+        assert "instance: 1" in text
+        assert "'v'" in text and "'w'" in text
+
+    def test_missing_decisions_render_as_dot(self):
+        run = make_run()
+        run.output_history[1] = []
+        text = decision_table(run)
+        assert "'.'" in text

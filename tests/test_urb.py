@@ -1,0 +1,98 @@
+"""Tests for uniform reliable broadcast."""
+
+from typing import Any
+
+from repro.broadcast import UrbLayer
+from repro.properties import check_urb
+from repro.sim import FailurePattern, FixedDelay, Layer, ProtocolStack, Simulation
+
+
+class UrbApp(Layer):
+    """Top layer recording URB activity as run outputs."""
+
+    name = "urb-app"
+
+    def on_input(self, ctx, value):
+        ctx.call_lower(("broadcast", value))
+
+    def on_lower_event(self, ctx, event: Any):
+        ctx.output(event)
+
+
+class CastRecordingUrb(UrbLayer):
+    """UrbLayer that also reports its own casts for the checker."""
+
+    def broadcast(self, ctx, payload):
+        message = super().broadcast(ctx, payload)
+        ctx.emit_upper(("urb-cast", message.uid, payload))
+        return message
+
+
+def urb_sim(n=4, crashes=None, delay=2, seed=0):
+    pattern = FailurePattern.crash(n, crashes or {})
+    procs = [ProtocolStack([CastRecordingUrb(), UrbApp()]) for _ in range(n)]
+    return Simulation(
+        procs,
+        failure_pattern=pattern,
+        delay_model=FixedDelay(delay),
+        timeout_interval=6,
+        seed=seed,
+    )
+
+
+class TestUrb:
+    def test_basic_diffusion(self):
+        sim = urb_sim(n=4)
+        sim.add_input(0, 5, "hello")
+        sim.run_until(200)
+        report = check_urb(sim.run)
+        assert report.ok, report.violations
+        for pid in range(4):
+            delivered = [
+                m.payload for __, (m,) in sim.run.tagged_outputs(pid, "urb-deliver")
+            ]
+            assert delivered == ["hello"]
+
+    def test_self_delivery_is_immediate(self):
+        sim = urb_sim(n=3)
+        sim.add_input(1, 4, "mine")
+        sim.run_until(10)
+        delivered = sim.run.tagged_outputs(1, "urb-deliver")
+        assert delivered and delivered[0][1][0].payload == "mine"
+
+    def test_no_duplicate_delivery(self):
+        sim = urb_sim(n=4)
+        for i in range(5):
+            sim.add_input(i % 4, 5 + i * 7, f"m{i}")
+        sim.run_until(400)
+        report = check_urb(sim.run)
+        assert report.integrity_ok, report.violations
+
+    def test_uniformity_crashed_relayer(self):
+        # p0 broadcasts then crashes almost immediately; eager diffusion means
+        # its first send already went to everyone, so all correct processes
+        # deliver.
+        sim = urb_sim(n=4, crashes={0: 8})
+        sim.add_input(0, 4, "just-in-time")
+        sim.run_until(300)
+        report = check_urb(sim.run)
+        assert report.ok, report.violations
+        for pid in (1, 2, 3):
+            delivered = [
+                m.payload for __, (m,) in sim.run.tagged_outputs(pid, "urb-deliver")
+            ]
+            assert "just-in-time" in delivered
+
+    def test_many_broadcasters_all_delivered_everywhere(self):
+        sim = urb_sim(n=5, crashes={4: 120})
+        for p in range(5):
+            sim.add_input(p, 10 + p * 9, f"from-{p}")
+        sim.run_until(500)
+        report = check_urb(sim.run)
+        assert report.ok, report.violations
+        sets = [
+            {m.payload for __, (m,) in sim.run.tagged_outputs(pid, "urb-deliver")}
+            for pid in (0, 1, 2, 3)
+        ]
+        assert sets[0] == sets[1] == sets[2] == sets[3]
+        assert {"from-0", "from-1", "from-2", "from-3"} <= sets[0]
