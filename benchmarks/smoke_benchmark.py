@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI smoke benchmark: fail on a step-throughput regression of the engine.
+
+Runs a reduced version of the sparse-traffic scenario from
+``bench_engine_fastforward.py`` on both engines and compares step throughput.
+The event engine nominally clears ~10-40x over naive-full on this workload;
+CI fails when the measured speedup drops below ``REQUIRED_SPEEDUP`` (3x),
+i.e. on more than a 2x regression against the worst nominal machines —
+machine-relative, so noisy runners do not flake.
+
+Also re-checks the fast-forward correctness invariant (byte-identical run
+records across engines) so a miscompiled fast path cannot pass on speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_benchmark.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core import EtobLayer
+from repro.detectors import OmegaDetector
+from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+
+TICKS = 40_000
+REQUIRED_SPEEDUP = 3.0
+
+
+def build(*, engine: str, record: str) -> Simulation:
+    n = 4
+    pattern = FailurePattern.crash(n, {3: 30_000})
+    detector = OmegaDetector(stabilization_time=0).history(pattern, seed=1)
+    sim = Simulation(
+        [ProtocolStack([EtobLayer()]) for _ in range(n)],
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(2),
+        timeout_interval=256,
+        seed=1,
+        engine=engine,
+        record=record,
+    )
+    sim.add_input(1, 100, ("broadcast", "a"))
+    sim.add_input(2, 20_000, ("broadcast", "b"))
+    return sim
+
+
+def timed(engine: str, record: str) -> tuple[Simulation, float]:
+    sim = build(engine=engine, record=record)
+    start = time.perf_counter()
+    sim.run_until(TICKS)
+    return sim, time.perf_counter() - start
+
+
+def main() -> int:
+    naive_full, t_naive = timed("naive", "full")
+    event_full, _ = timed("event", "full")
+    if naive_full.run != event_full.run:
+        print("FAIL: event engine run record diverged from the naive stepper")
+        return 1
+
+    event_metrics, t_event = timed("event", "metrics")
+    if event_metrics.network.sent_count != naive_full.network.sent_count:
+        print("FAIL: metrics-fidelity run diverged (traffic count mismatch)")
+        return 1
+
+    throughput_naive = TICKS / t_naive
+    throughput_event = TICKS / t_event
+    speedup = throughput_event / throughput_naive
+    print(
+        f"step throughput: naive-full {throughput_naive:,.0f} ticks/s, "
+        f"event-metrics {throughput_event:,.0f} ticks/s ({speedup:.1f}x)"
+    )
+    if speedup < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: engine speedup {speedup:.2f}x below the "
+            f"{REQUIRED_SPEEDUP}x floor (>2x throughput regression)"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

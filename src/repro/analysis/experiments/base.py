@@ -1,0 +1,215 @@
+"""Experiment registry, shared scenario builders, and suite-powered sweeps.
+
+An *experiment* is a deterministic, seedable function returning an
+:class:`ExperimentResult` (structured rows plus a rendered table). Experiment
+modules register their functions with the :func:`experiment` decorator; the
+package ``__init__`` imports every module, so importing
+``repro.analysis.experiments`` yields the complete registry.
+
+Because each experiment takes a ``seed`` keyword, any experiment can be run
+as a multi-seed sweep over the :class:`~repro.suite.ScenarioSuite` runner —
+see :func:`sweep` — and executed across worker processes with no per-
+experiment code.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.analysis.tables import Table
+from repro.consensus import PaxosConsensusLayer, TobFromConsensusLayer
+from repro.core import EcUsingOmegaLayer, EtobLayer
+from repro.core.transformations import EcToEtobLayer
+from repro.detectors import CompositeDetector, OmegaDetector, SigmaDetector
+from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+from repro.suite import ScenarioSuite, SuiteResult
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus a rendered table for one experiment."""
+
+    name: str
+    table: Table
+    rows: list[dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        return self.table.render()
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One registered experiment: its key, runner, and a one-line title."""
+
+    key: str
+    fn: Callable[..., ExperimentResult]
+    title: str
+
+
+#: key (e.g. ``"EXP-4"``) → definition; populated by the module decorators.
+EXPERIMENT_REGISTRY: dict[str, ExperimentDef] = {}
+
+
+def experiment(key: str, title: str = "") -> Callable:
+    """Class the decorated function as experiment ``key`` in the registry."""
+
+    def decorate(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        doc_lines = (fn.__doc__ or "").strip().splitlines()
+        summary = title or (doc_lines[0] if doc_lines else key)
+        EXPERIMENT_REGISTRY[key] = ExperimentDef(key, fn, summary)
+        return fn
+
+    return decorate
+
+
+def run_experiment(key: str, **kwargs: Any) -> ExperimentResult:
+    """Run one registered experiment by key."""
+    try:
+        definition = EXPERIMENT_REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {key!r}; known: {sorted(EXPERIMENT_REGISTRY)}"
+        ) from None
+    return definition.fn(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# suite-powered sweeps
+# ---------------------------------------------------------------------------
+
+
+def _sweep_cell(key: str, **params: Any) -> ExperimentResult:
+    """Module-level cell runner (picklable) for :func:`sweep`."""
+    # Import the package, not just this module, so the registry is populated
+    # even in a worker that starts from a cold interpreter.
+    from repro.analysis import experiments  # noqa: F401
+
+    return run_experiment(key, **params)
+
+
+def sweep(
+    key: str,
+    *,
+    seeds: int | Sequence[int] = 4,
+    workers: int | None = None,
+    **axes: Sequence[Any],
+) -> SuiteResult:
+    """Run experiment ``key`` across seeds (and optional extra axes).
+
+    Each suite cell invokes the experiment with one ``seed`` (plus one value
+    per extra axis) and yields its :class:`ExperimentResult`; cells run across
+    ``workers`` processes. Use :func:`sweep_rows` to flatten the per-seed
+    result tables into one row list.
+    """
+    suite = ScenarioSuite(functools.partial(_sweep_cell, key), name=f"{key}-sweep")
+    suite.seeds(seeds)
+    for name, values in axes.items():
+        suite.axis(name, list(values))
+    return suite.run(workers=workers)
+
+
+def sweep_rows(result: SuiteResult) -> list[dict]:
+    """Flatten a sweep's per-cell ExperimentResults into annotated rows."""
+    rows: list[dict] = []
+    for cell in result.cells:
+        if not cell.ok or cell.value is None:
+            continue
+        for row in cell.value.rows:
+            rows.append({**cell.params, **row})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# shared builders
+# ---------------------------------------------------------------------------
+
+
+def _broadcast_protocol(
+    protocol: str, *, quorum_mode: str = "majority"
+) -> Callable[[], ProtocolStack]:
+    """Factory of one process for a named broadcast protocol."""
+    if protocol == "etob":
+        return lambda: ProtocolStack([EtobLayer()])
+    if protocol == "ec-etob":
+        return lambda: ProtocolStack([EcUsingOmegaLayer(), EcToEtobLayer()])
+    if protocol == "tob-consensus":
+        return lambda: ProtocolStack(
+            [PaxosConsensusLayer(quorum_mode=quorum_mode), TobFromConsensusLayer()]
+        )
+    if protocol == "tob-ct":
+        from repro.consensus import ChandraTouegConsensusLayer
+
+        return lambda: ProtocolStack(
+            [ChandraTouegConsensusLayer(), TobFromConsensusLayer()]
+        )
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def _detector(
+    pattern,
+    *,
+    tau_omega,
+    pre_behavior="rotate",
+    with_sigma=False,
+    with_suspects=False,
+    seed=0,
+):
+    omega = OmegaDetector(stabilization_time=tau_omega, pre_behavior=pre_behavior)
+    if with_sigma or with_suspects:
+        from repro.detectors import EventuallyStrongDetector
+
+        components = {"omega": omega}
+        if with_sigma:
+            components["sigma"] = SigmaDetector(stabilization_time=tau_omega)
+        if with_suspects:
+            components["suspects"] = EventuallyStrongDetector(
+                stabilization_time=tau_omega
+            )
+        return CompositeDetector(components).history(pattern, seed=seed)
+    return omega.history(pattern, seed=seed)
+
+
+def _run_broadcast_scenario(
+    protocol: str,
+    *,
+    n: int,
+    broadcasts: Sequence[tuple[int, int, Any]],
+    duration: int,
+    delay: int = 2,
+    timeout: int = 2,
+    tau_omega: int = 0,
+    pre_behavior: str = "rotate",
+    crashes: dict[int, int] | None = None,
+    quorum_mode: str = "majority",
+    seed: int = 0,
+    record: str = "outputs",
+) -> Simulation:
+    """One broadcast-protocol run; records at ``outputs`` fidelity by default
+    (every experiment metric below reads the delivery timeline, not the raw
+    step list, so retaining steps would only burn memory)."""
+    pattern = FailurePattern.crash(n, crashes or {})
+    detector = _detector(
+        pattern,
+        tau_omega=tau_omega,
+        pre_behavior=pre_behavior,
+        with_sigma=(quorum_mode == "sigma"),
+        with_suspects=(protocol == "tob-ct"),
+        seed=seed,
+    )
+    factory = _broadcast_protocol(protocol, quorum_mode=quorum_mode)
+    sim = Simulation(
+        [factory() for _ in range(n)],
+        failure_pattern=pattern,
+        detector=detector,
+        delay_model=FixedDelay(delay),
+        timeout_interval=timeout,
+        seed=seed,
+        message_batch=4,
+        record=record,
+    )
+    for pid, t, payload in broadcasts:
+        sim.add_input(pid, t, ("broadcast", payload))
+    sim.run_until(duration)
+    return sim

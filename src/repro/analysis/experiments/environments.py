@@ -1,0 +1,116 @@
+"""Environment experiments: EC in any environment, and the Sigma gap."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments.base import (
+    ExperimentResult,
+    _detector,
+    _run_broadcast_scenario,
+    experiment,
+)
+from repro.analysis.tables import Table
+from repro.core import EcDriverLayer, EcUsingOmegaLayer
+from repro.core.messages import payloads
+from repro.properties import check_ec, extract_timeline
+from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+
+
+@experiment("EXP-3", "EC from Omega in any environment (Lemma 2)")
+def exp_ec_any_environment(*, seed: int = 0) -> ExperimentResult:
+    """EXP-3: Algorithm 4 across environments and stabilization times."""
+    table = Table(
+        "EXP-3: EC from Omega in any environment (Algorithm 4)",
+        ["environment", "tau_Omega", "verdict", "agreement index k", "k decided at"],
+    )
+    rows: list[dict] = []
+    scenarios = [
+        ("crash-free n=4", 4, {}, 0),
+        ("crash-free n=4, churn", 4, {}, 250),
+        ("minority correct (1/3)", 3, {1: 100, 2: 140}, 0),
+        ("minority correct, churn", 5, {0: 80, 1: 80, 2: 80}, 200),
+        ("single survivor (1/4)", 4, {1: 60, 2: 60, 3: 60}, 0),
+    ]
+    for label, n, crashes, tau in scenarios:
+        pattern = FailurePattern.crash(n, crashes)
+        detector = _detector(pattern, tau_omega=tau, seed=seed)
+        procs = [
+            ProtocolStack([EcUsingOmegaLayer(), EcDriverLayer(max_instances=40)])
+            for _ in range(n)
+        ]
+        sim = Simulation(
+            procs,
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=FixedDelay(2),
+            timeout_interval=4,
+            seed=seed,
+        )
+        sim.run_until(3000)
+        report = check_ec(sim.run, expected_instances=40)
+        rows.append(
+            {
+                "environment": label,
+                "tau_omega": tau,
+                "ok": report.ok,
+                "k": report.agreement_index,
+                "k_time": report.agreement_time,
+            }
+        )
+        table.add_row(
+            label,
+            tau,
+            report.ok,
+            report.agreement_index,
+            report.agreement_time if report.agreement_time is not None else "-",
+        )
+    return ExperimentResult("ec-any-environment", table, rows)
+
+
+@experiment("EXP-8", "availability without a correct majority (the Sigma gap)")
+def exp_partition_gap(*, seed: int = 0) -> ExperimentResult:
+    """EXP-8: crash a majority; only Omega-only ETOB and Omega+Sigma
+    consensus stay available."""
+    n = 5
+    crashes = {0: 100, 1: 100, 2: 100}
+    table = Table(
+        "EXP-8: availability after losing the majority (3 of 5 crash at t=100)",
+        ["protocol", "detector", "delivered after crash", "available"],
+    )
+    rows: list[dict] = []
+    cases = [
+        ("etob", "majority", "Omega"),
+        ("tob-consensus", "majority", "Omega (majority quorums)"),
+        ("tob-consensus", "sigma", "Omega + Sigma"),
+    ]
+    for protocol, quorum_mode, detector_label in cases:
+        broadcasts = [(3, 200, "post-crash-1"), (4, 320, "post-crash-2")]
+        sim = _run_broadcast_scenario(
+            protocol,
+            n=n,
+            broadcasts=[(0, 10, "pre-crash")] + broadcasts,
+            duration=4000,
+            tau_omega=150,
+            crashes=crashes,
+            quorum_mode=quorum_mode,
+            seed=seed,
+        )
+        tl = extract_timeline(sim.run)
+        survivors = (3, 4)
+        delivered = sum(
+            1
+            for __, t, payload in [(p, t, m) for p, t, m in broadcasts]
+            if all(payload in payloads(tl.final_sequence(pid)) for pid in survivors)
+        )
+        available = delivered == len(broadcasts)
+        rows.append(
+            {
+                "protocol": protocol,
+                "detector": detector_label,
+                "delivered": delivered,
+                "available": available,
+            }
+        )
+        table.add_row(
+            protocol, detector_label, f"{delivered}/{len(broadcasts)}", available
+        )
+    return ExperimentResult("partition-gap", table, rows)

@@ -1,0 +1,90 @@
+"""Stabilization experiments: the ETOB tau bound and the strong-TOB mode."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.experiments.base import (
+    ExperimentResult,
+    _run_broadcast_scenario,
+    experiment,
+)
+from repro.analysis.tables import Table
+from repro.properties import check_etob, check_tob
+
+
+@experiment("EXP-4", "ETOB stabilization vs the paper bound (Lemma 3)")
+def exp_etob_stabilization(
+    taus: Sequence[int] = (0, 100, 200, 400), *, seed: int = 0
+) -> ExperimentResult:
+    """EXP-4: measured ETOB tau vs the proof's bound tau_Omega + Dt + Dc."""
+    n, delay, timeout = 4, 3, 4
+    table = Table(
+        "EXP-4: ETOB stabilization vs paper bound (tau_Omega + Dt + Dc)",
+        ["tau_Omega", "measured tau", "bound", "within bound", "verdict"],
+    )
+    rows: list[dict] = []
+    for tau_omega in taus:
+        broadcasts = [
+            (p, 15 + 23 * i + p, f"m{i}.{p}") for i in range(5) for p in range(n)
+        ]
+        sim = _run_broadcast_scenario(
+            "etob",
+            n=n,
+            broadcasts=broadcasts,
+            duration=max(1200, tau_omega * 3 + 600),
+            delay=delay,
+            timeout=timeout,
+            tau_omega=tau_omega,
+            seed=seed,
+        )
+        report = check_etob(sim.run)
+        # Dt: worst local timeout distance = timer interval stretched by the
+        # scheduling granularity; Dc: one network traversal. Promotion plus
+        # adoption costs one timeout + one delivery after tau_Omega.
+        bound = tau_omega + (timeout + n) + delay
+        rows.append(
+            {
+                "tau_omega": tau_omega,
+                "tau": report.tau,
+                "bound": bound,
+                "ok": report.ok,
+            }
+        )
+        table.add_row(tau_omega, report.tau, bound, report.tau <= bound, report.ok)
+    return ExperimentResult("etob-stabilization", table, rows)
+
+
+@experiment("EXP-5", "stable Omega from the start implies strong TOB")
+def exp_tob_mode(*, seed: int = 0) -> ExperimentResult:
+    """EXP-5: Algorithm 5 satisfies *strong* TOB when Omega never changes."""
+    table = Table(
+        "EXP-5: Algorithm 5 under stable Omega = strong TOB",
+        ["scenario", "strong TOB verdict", "tau"],
+    )
+    rows: list[dict] = []
+    scenarios = [
+        ("crash-free n=4", 4, {}),
+        ("one crash n=5", 5, {4: 150}),
+        ("minority correct n=5", 5, {0: 120, 1: 120, 2: 160}),
+    ]
+    for label, n, crashes in scenarios:
+        broadcasts = [(p, 10 + 37 * i + p, f"m{i}.{p}") for i in range(4) for p in range(n)]
+        broadcasts = [
+            (p, t, m)
+            for p, t, m in broadcasts
+            if p not in crashes or t < crashes[p]
+        ]
+        sim = _run_broadcast_scenario(
+            "etob",
+            n=n,
+            broadcasts=broadcasts,
+            duration=1500,
+            tau_omega=0,
+            crashes=crashes,
+            seed=seed,
+        )
+        report = check_tob(sim.run)
+        rows.append({"scenario": label, "ok": report.ok, "tau": report.etob.tau})
+        table.add_row(label, report.ok, report.etob.tau)
+    return ExperimentResult("tob-mode", table, rows)

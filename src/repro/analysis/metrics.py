@@ -17,6 +17,7 @@ from typing import Iterable
 
 from repro.core.messages import MessageId
 from repro.properties.delivery import DeliveryTimeline, extract_timeline
+from repro.sim.observers import MetricsRecorder, RunMetrics
 from repro.sim.runs import RunRecord
 from repro.sim.scheduler import Simulation
 from repro.sim.types import ProcessId, Time
@@ -181,3 +182,32 @@ def message_counts(sim: Simulation) -> dict[str, int]:
         "delivered": sim.network.delivered_count,
         "in_transit": sim.network.in_transit(),
     }
+
+
+def run_metrics(sim: Simulation) -> RunMetrics:
+    """Aggregate step counters of a finished simulation.
+
+    With ``record="metrics"`` this is the live counter object the
+    :class:`~repro.sim.observers.MetricsRecorder` maintained during the run
+    (O(1)); with ``record="full"`` the same numbers are derived from the
+    retained step list, which makes the two paths cross-checkable. Note that
+    ``steps`` counts executed plus materialized-idle steps at full fidelity
+    but only executed steps at metrics fidelity (the engine skips idle ticks
+    there — the difference is exactly ``idle_ticks_skipped``). The
+    ``outputs`` and ``none`` levels retain neither steps nor counters, so
+    asking for their metrics is an error rather than a silent zero.
+    """
+    if sim.record_level == "metrics":
+        return sim.metrics
+    if sim.record_level != "full":
+        raise ValueError(
+            "run_metrics needs record='full' or record='metrics'; this "
+            f"simulation recorded at {sim.record_level!r}"
+        )
+    # Reuse the live recorder's fold so the two paths cannot drift apart.
+    metrics = RunMetrics(sim.n)
+    recorder = MetricsRecorder(metrics)
+    for step in sim.run.steps:
+        recorder.on_step(sim, step)
+    metrics.end_time = sim.run.end_time
+    return metrics

@@ -44,6 +44,7 @@ from repro.sim import (
     GstDelay,
     Process,
     ProtocolStack,
+    SimObserver,
     Simulation,
     UniformRandomDelay,
 )
@@ -69,6 +70,10 @@ class Scenario:
         self._scheduling = "round_robin"
         self._factory: Callable[[], Process] | None = None
         self._inputs: list[tuple[ProcessId, Time, Any]] = []
+        self._quorum_mode = "majority"
+        self._engine = "event"
+        self._record = "full"
+        self._observers: list[SimObserver] = []
 
     # -- failures -----------------------------------------------------------------
 
@@ -78,7 +83,12 @@ class Scenario:
         return self
 
     def crash_majority(self, *, at: Time) -> "Scenario":
-        """Crash the first ceil(n/2) processes at ``at``."""
+        """Crash the first ⌊n/2⌋+1 processes (a strict majority) at ``at``.
+
+        ``⌊n/2⌋+1`` is the smallest strict majority for both parities of
+        ``n`` (3 of 5, but also 3 of 4) — the regime where majority-quorum
+        protocols lose liveness while Omega-only ETOB stays available.
+        """
         for pid in range(self.n // 2 + 1):
             self._crashes[pid] = at
         return self
@@ -145,11 +155,31 @@ class Scenario:
         self._scheduling = "random"
         return self
 
+    # -- engine / recording ----------------------------------------------------
+
+    def engine(self, engine: str) -> "Scenario":
+        """Select the stepping engine: ``"event"`` (default) or ``"naive"``."""
+        self._engine = engine
+        return self
+
+    def record(self, level: str) -> "Scenario":
+        """Select recording fidelity: ``full`` | ``outputs`` | ``metrics`` | ``none``."""
+        self._record = level
+        return self
+
+    def observe(self, observer: SimObserver) -> "Scenario":
+        """Attach an additional simulation observer."""
+        self._observers.append(observer)
+        return self
+
     # -- protocols ----------------------------------------------------------------------
 
     def stack(self, factory: Callable[[], Process]) -> "Scenario":
         """Use an arbitrary process factory."""
         self._factory = factory
+        # Selecting a stack discards any sigma-quorum request from an earlier
+        # strong_tob(): the detector upgrade belongs to that stack alone.
+        self._quorum_mode = "majority"
         return self
 
     def etob(self) -> "Scenario":
@@ -189,18 +219,19 @@ class Scenario:
         )
 
     def strong_tob(self, *, quorum: str = "majority") -> "Scenario":
-        """The consensus-based strong TOB baseline."""
-        if quorum == "sigma" and self._detector_config is not None:
-            self._detector_config = {
-                "kind": "omega+sigma",
-                "tau": self._detector_config.get("tau", 0),
-                "pre": self._detector_config.get("pre", "rotate"),
-            }
-        return self.stack(
+        """The consensus-based strong TOB baseline.
+
+        With ``quorum="sigma"`` the detector is upgraded to Omega + Sigma at
+        :meth:`build` time, so ``strong_tob()`` and ``omega()`` may be chained
+        in either order.
+        """
+        self.stack(
             lambda: ProtocolStack(
                 [PaxosConsensusLayer(quorum_mode=quorum), TobFromConsensusLayer()]
             )
         )
+        self._quorum_mode = quorum
+        return self
 
     def replicated(
         self, machine_factory: Callable[[], StateMachine], *, commit: bool = False
@@ -238,6 +269,10 @@ class Scenario:
         config = self._detector_config
         if config is None:
             return None
+        if self._quorum_mode == "sigma" and config["kind"] == "omega":
+            # Sigma-quorum consensus needs the composite oracle; resolve the
+            # upgrade here so omega()/strong_tob() chaining order is irrelevant.
+            config = {**config, "kind": "omega+sigma"}
         omega = OmegaDetector(
             stabilization_time=config["tau"],
             leader=config.get("leader"),
@@ -268,6 +303,9 @@ class Scenario:
             seed=self.seed,
             scheduling=self._scheduling,
             message_batch=self._message_batch,
+            engine=self._engine,
+            record=self._record,
+            observers=tuple(self._observers),
         )
         for pid, t, value in self._inputs:
             sim.add_input(pid, t, value)

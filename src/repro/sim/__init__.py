@@ -32,6 +32,14 @@ from repro.sim.network import (
     PartitionedDelay,
     UniformRandomDelay,
 )
+from repro.sim.observers import (
+    RECORD_LEVELS,
+    FullRecorder,
+    MetricsRecorder,
+    OutputsRecorder,
+    RunMetrics,
+    SimObserver,
+)
 from repro.sim.process import Process
 from repro.sim.runs import RunRecord, StepRecord
 from repro.sim.scheduler import Simulation
@@ -43,15 +51,21 @@ __all__ = [
     "Environment",
     "FailurePattern",
     "FixedDelay",
+    "FullRecorder",
     "GstDelay",
     "Layer",
     "LayerContext",
+    "MetricsRecorder",
     "Network",
+    "OutputsRecorder",
     "PartitionWindow",
     "PartitionedDelay",
     "Process",
     "ProtocolStack",
+    "RECORD_LEVELS",
+    "RunMetrics",
     "RunRecord",
+    "SimObserver",
     "Simulation",
     "SimulationError",
     "StepRecord",

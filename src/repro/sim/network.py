@@ -181,6 +181,12 @@ class Network:
         self._seq = itertools.count()
         self.sent_count = 0
         self.delivered_count = 0
+        #: receivers known to have crashed (scheduler calls :meth:`mark_crashed`).
+        self._dead: set[ProcessId] = set()
+        #: undelivered messages addressed to receivers not marked crashed.
+        #: Maintained on send/deliver/mark so quiescence checks are O(1)
+        #: instead of rescanning queues every tick.
+        self.live_pending = 0
 
     def send(
         self, sender: ProcessId, receiver: ProcessId, payload: Any, t: Time
@@ -199,6 +205,8 @@ class Network:
         )
         heapq.heappush(self._queues[receiver], envelope)
         self.sent_count += 1
+        if receiver not in self._dead:
+            self.live_pending += 1
         return envelope
 
     def send_all(
@@ -227,8 +235,25 @@ class Network:
         queue = self._queues[receiver]
         if queue and queue[0].deliver_at <= t:
             self.delivered_count += 1
+            if receiver not in self._dead:
+                self.live_pending -= 1
             return heapq.heappop(queue)
         return None
+
+    def next_delivery_time(self, receiver: ProcessId) -> Time | None:
+        """Delivery time of the oldest in-transit message to ``receiver``."""
+        queue = self._queues[receiver]
+        return queue[0].deliver_at if queue else None
+
+    def mark_crashed(self, pid: ProcessId) -> None:
+        """Exclude ``pid``'s queue from the live-pending count, permanently.
+
+        The scheduler calls this as the clock crosses crash boundaries;
+        crashes are permanent in the paper's model, so the mark never lifts.
+        """
+        if pid not in self._dead:
+            self._dead.add(pid)
+            self.live_pending -= len(self._queues[pid])
 
     def in_transit(self, receiver: ProcessId | None = None) -> int:
         """Number of undelivered messages (optionally for one receiver)."""

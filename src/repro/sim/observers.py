@@ -1,0 +1,192 @@
+"""Pluggable simulation observers and recording fidelity levels.
+
+The seed engine hard-wired recording into the scheduler: every step built a
+:class:`~repro.sim.runs.StepRecord` and appended it to a
+:class:`~repro.sim.runs.RunRecord`, forever. Long stabilization experiments
+were therefore memory- and CPU-bound on bookkeeping. This module splits
+recording out of the scheduler into an observer protocol:
+
+- :class:`SimObserver` — the hook interface (``on_step`` / ``on_send`` /
+  ``on_deliver`` plus ``on_log`` and ``on_finish``). The scheduler invokes
+  hooks for every event it produces; observers decide what to retain.
+- Recorders — one per fidelity level of ``Simulation(record=...)``:
+
+  ========== ===============================================================
+  level      what is retained
+  ========== ===============================================================
+  ``full``   everything the seed engine recorded: the complete step list
+             (including idle steps), input/output histories, and the
+             diagnostic log. Byte-identical to the naive tick-at-a-time
+             stepper — the event engine materializes idle-step records so
+             the run record ``(F, H, H_I, H_O, S, T)`` is exact.
+  ``outputs`` input/output histories, log, and ``end_time`` only; the step
+             list stays empty. Enough for every delivery-timeline based
+             property checker and metric.
+  ``metrics`` aggregate :class:`RunMetrics` counters only (steps per
+             process, receives, timeouts, inputs/outputs, traffic).
+  ``none``   nothing.
+  ========== ===============================================================
+
+An observer that sets ``wants_idle_steps = True`` forces the event engine to
+materialize a :class:`~repro.sim.runs.StepRecord` for every live tick it
+fast-forwards over (the record a naive stepper would have produced: no
+message, no inputs, no timeout — just the sampled detector value). Observers
+that leave it ``False`` let the engine skip idle stretches in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.errors import ConfigurationError
+from repro.sim.runs import RunRecord, StepRecord
+from repro.sim.types import ProcessId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scheduler imports us)
+    from repro.sim.network import Envelope
+    from repro.sim.scheduler import Simulation
+
+#: valid values of ``Simulation(record=...)``, highest fidelity first.
+RECORD_LEVELS = ("full", "outputs", "metrics", "none")
+
+
+class SimObserver:
+    """Base class for simulation observers; override the hooks you need.
+
+    Hooks are called synchronously from the scheduler, in the order events
+    happen. Observers must not mutate simulation state.
+    """
+
+    #: When True, the event engine materializes StepRecords for idle live
+    #: ticks instead of skipping them, so ``on_step`` sees every step the
+    #: naive stepper would have taken.
+    wants_idle_steps: bool = False
+
+    def on_step(self, sim: "Simulation", record: StepRecord) -> None:
+        """One step was taken (or, for full-fidelity runs, an idle tick passed)."""
+
+    def on_send(self, sim: "Simulation", envelope: "Envelope") -> None:
+        """A message entered the network."""
+
+    def on_deliver(self, sim: "Simulation", envelope: "Envelope") -> None:
+        """A message was consumed by its receiver."""
+
+    def on_log(self, sim: "Simulation", t: Time, pid: ProcessId, event: Any) -> None:
+        """A process logged a diagnostic event during a step."""
+
+    def on_finish(self, sim: "Simulation") -> None:
+        """A run loop (``run_until`` / ``run_steps`` / quiescence) returned."""
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate counters of a run — all ``record="metrics"`` retains.
+
+    ``steps`` counts *executed* steps (a fast-forwarded idle tick executes
+    nothing); ``idle_ticks_skipped`` counts the live ticks the event engine
+    fast-forwarded over without executing (crashed ticks count in neither —
+    they are consumed silently, as in the naive stepper).
+    """
+
+    n: int
+    steps: int = 0
+    steps_by_pid: list[int] = field(default_factory=list)
+    messages_sent: int = 0
+    messages_received: int = 0
+    timeouts_fired: int = 0
+    inputs: int = 0
+    outputs: int = 0
+    idle_ticks_skipped: int = 0
+    end_time: Time = 0
+
+    def __post_init__(self) -> None:
+        if not self.steps_by_pid:
+            self.steps_by_pid = [0] * self.n
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view (handy for suite rows and tables)."""
+        return {
+            "steps": self.steps,
+            "steps_by_pid": list(self.steps_by_pid),
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "timeouts_fired": self.timeouts_fired,
+            "inputs": self.inputs,
+            "outputs": self.outputs,
+            "idle_ticks_skipped": self.idle_ticks_skipped,
+            "end_time": self.end_time,
+        }
+
+
+class FullRecorder(SimObserver):
+    """``record="full"``: retain the complete run record, seed-identical."""
+
+    wants_idle_steps = True
+
+    def __init__(self, run: RunRecord) -> None:
+        self.run = run
+
+    def on_step(self, sim: "Simulation", record: StepRecord) -> None:
+        self.run.record_step(record)
+
+    def on_log(self, sim: "Simulation", t: Time, pid: ProcessId, event: Any) -> None:
+        self.run.log.append((t, pid, event))
+
+
+class OutputsRecorder(SimObserver):
+    """``record="outputs"``: histories and log only; no step retention."""
+
+    def __init__(self, run: RunRecord) -> None:
+        self.run = run
+
+    def on_step(self, sim: "Simulation", record: StepRecord) -> None:
+        self.run.record_histories(record)
+
+    def on_log(self, sim: "Simulation", t: Time, pid: ProcessId, event: Any) -> None:
+        self.run.log.append((t, pid, event))
+
+    def on_finish(self, sim: "Simulation") -> None:
+        # Idle steps are not materialized at this fidelity, so end_time cannot
+        # come from on_step alone; extend it to the last live tick the clock
+        # consumed — the same value a full-fidelity record ends on.
+        if sim.last_live_tick > self.run.end_time:
+            self.run.end_time = sim.last_live_tick
+
+
+class MetricsRecorder(SimObserver):
+    """``record="metrics"``: aggregate counters only."""
+
+    def __init__(self, metrics: RunMetrics) -> None:
+        self.metrics = metrics
+
+    def on_step(self, sim: "Simulation", record: StepRecord) -> None:
+        m = self.metrics
+        m.steps += 1
+        m.steps_by_pid[record.pid] += 1
+        m.messages_sent += record.sent
+        m.messages_received += record.received_count
+        m.timeouts_fired += bool(record.timeout_fired)
+        m.inputs += len(record.inputs)
+        m.outputs += len(record.outputs)
+        if record.time > m.end_time:
+            m.end_time = record.time
+
+    def on_finish(self, sim: "Simulation") -> None:
+        if sim.last_live_tick > self.metrics.end_time:
+            self.metrics.end_time = sim.last_live_tick
+
+
+def make_recorder(level: str, run: RunRecord, metrics: RunMetrics) -> SimObserver | None:
+    """The recording observer for a fidelity level (None for ``"none"``)."""
+    if level == "full":
+        return FullRecorder(run)
+    if level == "outputs":
+        return OutputsRecorder(run)
+    if level == "metrics":
+        return MetricsRecorder(metrics)
+    if level == "none":
+        return None
+    raise ConfigurationError(
+        f"unknown record level {level!r}; expected one of {RECORD_LEVELS}"
+    )

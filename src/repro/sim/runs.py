@@ -59,18 +59,45 @@ class RunRecord:
     log: list[tuple[Time, ProcessId, Any]] = field(default_factory=list)
     seed: int = 0
     end_time: Time = 0
+    #: lazily maintained per-pid index over ``steps`` (derived; not compared).
+    _steps_by_pid: dict[ProcessId, list[StepRecord]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    #: how many entries of ``steps`` the per-pid index has absorbed.
+    _indexed_count: int = field(default=0, compare=False, repr=False)
 
-    # -- recording (scheduler use) -------------------------------------------
+    # -- recording (scheduler / recorder use) ----------------------------------
 
     def record_step(self, step: StepRecord) -> None:
+        """Retain ``step`` in the schedule and fold it into the histories."""
         self.steps.append(step)
-        self.end_time = max(self.end_time, step.time)
+        self.record_histories(step)
+
+    def record_histories(self, step: StepRecord) -> None:
+        """Fold a step into ``H_I`` / ``H_O`` / ``end_time`` without retaining it."""
+        if step.time > self.end_time:
+            self.end_time = step.time
         if step.inputs:
             bucket = self.input_history.setdefault(step.pid, [])
             bucket.extend((step.time, value) for value in step.inputs)
         if step.outputs:
             bucket = self.output_history.setdefault(step.pid, [])
             bucket.extend((step.time, value) for value in step.outputs)
+
+    # -- per-pid step index ----------------------------------------------------
+
+    def _index_by_pid(self) -> dict[ProcessId, list[StepRecord]]:
+        """Extend the per-pid index over any steps appended since last use.
+
+        The index is built lazily so code that appends to ``steps`` directly
+        (tests, hand-built runs) stays correct, and queries after a long run
+        pay the scan once instead of once per call.
+        """
+        if self._indexed_count != len(self.steps):
+            for step in self.steps[self._indexed_count :]:
+                self._steps_by_pid.setdefault(step.pid, []).append(step)
+            self._indexed_count = len(self.steps)
+        return self._steps_by_pid
 
     # -- queries --------------------------------------------------------------
 
@@ -103,13 +130,13 @@ class RunRecord:
 
     def steps_of(self, pid: ProcessId) -> Iterator[StepRecord]:
         """Steps taken by ``pid``, in schedule order."""
-        return (s for s in self.steps if s.pid == pid)
+        return iter(self._index_by_pid().get(pid, ()))
 
     def step_count(self, pid: ProcessId | None = None) -> int:
         """Number of steps, overall or for one process."""
         if pid is None:
             return len(self.steps)
-        return sum(1 for s in self.steps if s.pid == pid)
+        return len(self._index_by_pid().get(pid, ()))
 
     @property
     def correct(self) -> frozenset[ProcessId]:
@@ -118,4 +145,4 @@ class RunRecord:
 
     def fd_samples(self, pid: ProcessId) -> list[tuple[Time, Any]]:
         """Detector values observed by ``pid`` at its steps (history ``H``)."""
-        return [(s.time, s.fd_value) for s in self.steps if s.pid == pid]
+        return [(s.time, s.fd_value) for s in self._index_by_pid().get(pid, ())]

@@ -1,4 +1,4 @@
-"""The fair step scheduler.
+"""The fair step scheduler and the event-driven fast-forward engine.
 
 Implements the paper's execution model: a discrete global clock; at each tick
 exactly one process may take a step (crashed processes' ticks are lost); steps
@@ -12,6 +12,44 @@ Fairness: with round-robin scheduling process ``p`` steps at every tick
 steps; with seeded random scheduling each block of ``n`` ticks is a random
 permutation of the processes, preserving fairness while exercising different
 interleavings.
+
+Engines
+=======
+
+Most ticks of a long run are *idle*: the scheduled process has no deliverable
+message, no pending input, no due timeout, and has already started — so no
+handler runs and the step is the empty ``(p, lambda, d, -)`` step. Two engines
+drive the clock:
+
+- ``engine="naive"`` — the seed behaviour: every tick pays full step cost.
+- ``engine="event"`` (default) — computes, per process, the earliest
+  *interesting* tick (the minimum of: next deliverable envelope, next pending
+  input, next due local timeout, the pending ``on_start``; gated by the
+  process's crash boundary) and fast-forwards the clock over idle stretches.
+  Under round-robin scheduling the jump is O(1) per skipped stretch; under
+  random scheduling ticks are scanned with a cheap O(1) idleness check per
+  tick (the per-block RNG draws must happen in naive order to keep runs
+  bit-identical across engines).
+
+Fast-forward invariants (checked by ``tests/test_engine_differential.py``):
+
+- tick parity: the clock visits the same values; ``sim.time`` agrees with the
+  naive engine at every run-loop boundary;
+- crashed ticks are consumed exactly as before (no record, clock advances);
+- with ``record="full"`` the engine materializes the idle-step records a
+  naive stepper would have produced (empty message, sampled detector value),
+  so the :class:`RunRecord` is byte-identical to the naive engine's;
+- the scheduling RNG stream is identical across engines and fidelity levels,
+  so a run's trajectory never depends on how it is observed.
+
+The engine assumes detector histories are pure functions of ``(pid, t)`` —
+true of the paper's model, where ``H`` is a fixed history — because reduced
+fidelity levels skip the per-tick queries that idle full-fidelity steps
+perform.
+
+Recording is delegated to observers (see :mod:`repro.sim.observers`):
+``record=`` selects a built-in recorder fidelity, ``observers=`` attaches
+additional :class:`~repro.sim.observers.SimObserver` instances.
 """
 
 from __future__ import annotations
@@ -25,6 +63,7 @@ from repro.sim.context import Context
 from repro.sim.errors import ConfigurationError
 from repro.sim.failures import FailurePattern
 from repro.sim.network import DelayModel, FixedDelay, Network
+from repro.sim.observers import RunMetrics, SimObserver, make_recorder
 from repro.sim.process import Process
 from repro.sim.runs import ReceivedMessage, RunRecord, StepRecord
 from repro.sim.types import ProcessId, Time, validate_process_id, validate_time
@@ -35,6 +74,11 @@ class DetectorHistory(Protocol):
 
     def query(self, pid: ProcessId, t: Time) -> Any:
         ...
+
+
+def _overrides(observer: SimObserver, hook: str) -> bool:
+    """True iff ``observer``'s class overrides the named base-class hook."""
+    return getattr(type(observer), hook) is not getattr(SimObserver, hook)
 
 
 class Simulation:
@@ -52,6 +96,9 @@ class Simulation:
         timeout_interval: int | Sequence[int] = 8,
         scheduling: str = "round_robin",
         message_batch: int = 1,
+        engine: str = "event",
+        record: str = "full",
+        observers: Sequence[SimObserver] = (),
     ) -> None:
         self.n = len(processes)
         if self.n < 1:
@@ -76,6 +123,9 @@ class Simulation:
         if scheduling not in ("round_robin", "random"):
             raise ConfigurationError(f"unknown scheduling policy {scheduling!r}")
         self.scheduling = scheduling
+        if engine not in ("event", "naive"):
+            raise ConfigurationError(f"unknown engine {engine!r}")
+        self.engine = engine
 
         if isinstance(timeout_interval, int):
             intervals = [timeout_interval] * self.n
@@ -96,12 +146,49 @@ class Simulation:
         self.message_batch = message_batch
 
         self.time: Time = 0
+        #: last tick consumed by a live (non-crashed) process, -1 before any.
+        #: Tracked by both engines so recorders can close reduced-fidelity
+        #: run records on the same end_time full fidelity produces.
+        self.last_live_tick: Time = -1
         self._step_index = 0
         self._started: set[ProcessId] = set()
         self._inputs: list[list[tuple[Time, int, Any]]] = [[] for _ in range(self.n)]
         self._input_seq = itertools.count()
         self._permutation: list[ProcessId] = list(range(self.n))
+        #: block index the current permutation was drawn for (-1 = none yet).
+        self._perm_block = -1
         self.run = RunRecord(self.n, self.failure_pattern, seed=seed)
+        self.record_level = record
+        #: aggregate counters; populated by the ``record="metrics"`` recorder
+        #: (and ``idle_ticks_skipped`` by the event engine in any reduced
+        #: fidelity). Use :func:`repro.analysis.metrics.run_metrics` to derive
+        #: the same numbers from a full-fidelity run.
+        self.metrics = RunMetrics(self.n)
+        recorder = make_recorder(record, self.run, self.metrics)
+        self._observers: list[SimObserver] = (
+            [recorder] if recorder is not None else []
+        ) + list(observers)
+        for observer in self._observers:
+            if not isinstance(observer, SimObserver):
+                raise ConfigurationError(
+                    f"observers must be SimObserver instances, got {observer!r}"
+                )
+        self._step_observers = [o for o in self._observers if _overrides(o, "on_step")]
+        self._send_observers = [o for o in self._observers if _overrides(o, "on_send")]
+        self._deliver_observers = [
+            o for o in self._observers if _overrides(o, "on_deliver")
+        ]
+        self._log_observers = [o for o in self._observers if _overrides(o, "on_log")]
+        self._finish_observers = [
+            o for o in self._observers if _overrides(o, "on_finish")
+        ]
+        self._materialize_idle = any(o.wants_idle_steps for o in self._observers)
+        #: crash boundaries not yet folded into the network's live-pending
+        #: counter, in time order (consumed by :meth:`_sync_crash_marks`).
+        self._crash_boundaries = sorted(
+            (t, pid) for pid, t in self.failure_pattern.crash_times.items()
+        )
+        self._crash_cursor = 0
 
     # -- inputs ----------------------------------------------------------------
 
@@ -116,11 +203,12 @@ class Simulation:
     def _scheduled_pid(self, t: Time) -> ProcessId:
         if self.scheduling == "round_robin":
             return t % self.n
-        slot = t % self.n
-        if slot == 0:
+        block = t // self.n
+        if block != self._perm_block:
             self._permutation = list(range(self.n))
             self.rng.shuffle(self._permutation)
-        return self._permutation[slot]
+            self._perm_block = block
+        return self._permutation[t % self.n]
 
     def step(self) -> StepRecord | None:
         """Advance the clock one tick; run the scheduled process if alive.
@@ -133,6 +221,7 @@ class Simulation:
         pid = self._scheduled_pid(t)
         if self.failure_pattern.crashed(pid, t):
             return None
+        self.last_live_tick = t
 
         process = self.processes[pid]
         fd_value = self.detector.query(pid, t) if self.detector is not None else None
@@ -162,6 +251,9 @@ class Simulation:
                     send_time=envelope.send_time,
                 )
             received_count += 1
+            if self._deliver_observers:
+                for observer in self._deliver_observers:
+                    observer.on_deliver(self, envelope)
             process.on_message(ctx, envelope.sender, envelope.payload)
 
         timeout_fired = False
@@ -171,11 +263,21 @@ class Simulation:
             process.on_timeout(ctx)
 
         outbox = ctx.drain_outbox()
-        for receiver, payload in outbox:
-            self.network.send(pid, receiver, payload, t)
+        if self._send_observers:
+            for receiver, payload in outbox:
+                envelope = self.network.send(pid, receiver, payload, t)
+                for observer in self._send_observers:
+                    observer.on_send(self, envelope)
+        else:
+            for receiver, payload in outbox:
+                self.network.send(pid, receiver, payload, t)
         outputs = ctx.drain_outputs()
-        for event in ctx.drain_log():
-            self.run.log.append((t, pid, event))
+        if self._log_observers:
+            for event in ctx.drain_log():
+                for observer in self._log_observers:
+                    observer.on_log(self, t, pid, event)
+        else:
+            ctx.drain_log()
 
         record = StepRecord(
             index=self._step_index,
@@ -190,16 +292,157 @@ class Simulation:
             received_count=received_count,
         )
         self._step_index += 1
-        self.run.record_step(record)
+        for observer in self._step_observers:
+            observer.on_step(self, record)
         return record
+
+    # -- the event engine ------------------------------------------------------
+
+    def _tick_interesting(self, pid: ProcessId, t: Time) -> bool:
+        """True iff the step at tick ``t`` (scheduled: ``pid``) does any work."""
+        if self.failure_pattern.crashed(pid, t):
+            return False
+        if pid not in self._started:
+            return True  # the pending on_start makes the first step non-trivial
+        if self._next_timeout[pid] <= t:
+            return True
+        deliver_at = self.network.next_delivery_time(pid)
+        if deliver_at is not None and deliver_at <= t:
+            return True
+        queue = self._inputs[pid]
+        return bool(queue) and queue[0][0] <= t
+
+    def _next_event_tick_rr(self) -> Time | None:
+        """Earliest interesting tick >= now under round-robin, or None.
+
+        O(n): each process contributes its earliest event time (deliverable
+        envelope, pending input, due timeout, pending start), aligned to its
+        next scheduled tick and gated by its crash boundary.
+        """
+        n, now = self.n, self.time
+        network = self.network
+        pattern = self.failure_pattern
+        best: Time | None = None
+        for pid in range(n):
+            if pid in self._started:
+                event_at = self._next_timeout[pid]
+                deliver_at = network.next_delivery_time(pid)
+                if deliver_at is not None and deliver_at < event_at:
+                    event_at = deliver_at
+                queue = self._inputs[pid]
+                if queue and queue[0][0] < event_at:
+                    event_at = queue[0][0]
+                if event_at < now:
+                    event_at = now
+            else:
+                event_at = now
+            tick = event_at + ((pid - event_at) % n)
+            crash_at = pattern.crash_times.get(pid)
+            if crash_at is not None and tick >= crash_at:
+                continue  # pid never steps again
+            if best is None or tick < best:
+                best = tick
+        return best
+
+    def _record_idle_step(self, t: Time, pid: ProcessId) -> None:
+        """Materialize the record a naive stepper would produce for an idle tick."""
+        self.last_live_tick = t
+        fd_value = self.detector.query(pid, t) if self.detector is not None else None
+        record = StepRecord(
+            index=self._step_index, time=t, pid=pid, message=None, fd_value=fd_value
+        )
+        self._step_index += 1
+        for observer in self._step_observers:
+            observer.on_step(self, record)
+
+    def _skip_span_rr(self, start: Time, end: Time) -> None:
+        """Fast-forward the clock over ``[start, end)`` (round-robin, all idle)."""
+        if start >= end:
+            return
+        if not self._materialize_idle:
+            # Count live idle ticks and find the last one without touching
+            # each tick: per process, its slots in the span are an arithmetic
+            # progression clipped by its crash boundary.
+            n = self.n
+            crash_times = self.failure_pattern.crash_times
+            live = 0
+            last_live = -1
+            for pid in range(n):
+                crash_at = crash_times.get(pid)
+                hi = end if crash_at is None else min(end, crash_at)
+                first = start + ((pid - start) % n)
+                if first >= hi:
+                    continue
+                last = hi - 1 - ((hi - 1 - pid) % n)
+                live += (last - first) // n + 1
+                if last > last_live:
+                    last_live = last
+            self.metrics.idle_ticks_skipped += live
+            if last_live > self.last_live_tick:
+                self.last_live_tick = last_live
+            return
+        n = self.n
+        crashed = self.failure_pattern.crashed
+        for t in range(start, end):
+            pid = t % n
+            if not crashed(pid, t):
+                self._record_idle_step(t, pid)
+
+    def _advance_event_rr(self, t_end: Time) -> None:
+        """Execute the next interesting tick before ``t_end``, or jump to it."""
+        target = self._next_event_tick_rr()
+        if target is None or target >= t_end:
+            self._skip_span_rr(self.time, t_end)
+            self.time = t_end
+            return
+        self._skip_span_rr(self.time, target)
+        self.time = target
+        self.step()
+
+    def _advance_event_random(self, t_end: Time) -> None:
+        """Advance to the next interesting tick under random scheduling.
+
+        Random scheduling draws one permutation per block of ``n`` ticks from
+        the simulation RNG; those draws must happen in naive order for runs to
+        stay bit-identical across engines, so idle ticks are scanned with a
+        cheap O(1) check instead of being jumped over.
+        """
+        t = self.time
+        materialize = self._materialize_idle
+        while t < t_end:
+            pid = self._scheduled_pid(t)
+            if self._tick_interesting(pid, t):
+                self.time = t
+                self.step()
+                return
+            if not self.failure_pattern.crashed(pid, t):
+                if materialize:
+                    self._record_idle_step(t, pid)
+                else:
+                    self.metrics.idle_ticks_skipped += 1
+                    self.last_live_tick = t
+            t += 1
+        self.time = t_end
+
+    def _finish(self) -> None:
+        for observer in self._finish_observers:
+            observer.on_finish(self)
 
     # -- run loops ----------------------------------------------------------------
 
     def run_until(self, t_end: Time) -> RunRecord:
         """Run until the clock reaches ``t_end`` ticks."""
         validate_time(t_end)
-        while self.time < t_end:
-            self.step()
+        if self.engine == "naive":
+            while self.time < t_end:
+                self.step()
+        elif self.scheduling == "round_robin":
+            while self.time < t_end:
+                self._advance_event_rr(t_end)
+        else:
+            while self.time < t_end:
+                self._advance_event_random(t_end)
+        self._finish()
         return self.run
 
     def run_steps(self, ticks: int) -> RunRecord:
@@ -209,9 +452,15 @@ class Simulation:
     def run_while(
         self, condition: Callable[["Simulation"], bool], *, max_time: Time = 1_000_000
     ) -> RunRecord:
-        """Run while ``condition(self)`` holds, up to ``max_time`` ticks."""
+        """Run while ``condition(self)`` holds, up to ``max_time`` ticks.
+
+        The condition is re-evaluated at every tick, so this loop always steps
+        naively — fast-forwarding would change when the predicate observes the
+        simulation.
+        """
         while self.time < max_time and condition(self):
             self.step()
+        self._finish()
         return self.run
 
     def run_until_quiescent(
@@ -221,15 +470,29 @@ class Simulation:
 
         Useful for protocols without periodic chatter. ``grace`` extra full
         rounds are executed after the network drains, letting timers fire.
+        The per-tick check reads the network's O(1) live-pending counter
+        (crash boundaries are folded in as the clock crosses them) instead of
+        rescanning the per-receiver queues.
         """
         while self.time < max_time:
-            alive = self.failure_pattern.alive_at(self.time)
-            if self.network.pending_for(alive) == 0:
+            self._sync_crash_marks()
+            if self.network.live_pending == 0:
                 break
             self.step()
         if grace:
             self.run_steps(grace * self.n)
+        self._finish()
         return self.run
+
+    def _sync_crash_marks(self) -> None:
+        """Fold crash boundaries up to the current time into the network."""
+        boundaries = self._crash_boundaries
+        while (
+            self._crash_cursor < len(boundaries)
+            and boundaries[self._crash_cursor][0] <= self.time
+        ):
+            self.network.mark_crashed(boundaries[self._crash_cursor][1])
+            self._crash_cursor += 1
 
     # -- convenience ----------------------------------------------------------------
 

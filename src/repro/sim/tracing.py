@@ -1,17 +1,29 @@
-"""Human-readable rendering of run records.
+"""Human-readable rendering of run records and live traces.
 
 Debugging distributed runs from raw step lists is miserable; these helpers
 print compact per-process timelines of the events that matter (broadcasts,
 delivered-sequence changes, decisions, leader changes) and side-by-side
 sequence comparisons. Used by examples and by humans in anger.
+
+Two entry points produce the same timeline text:
+
+- :func:`timeline` renders after the fact from a :class:`RunRecord` (needs
+  ``record="full"`` or ``"outputs"``);
+- :class:`TimelineObserver` collects the events live through the scheduler's
+  observer protocol, so traces stay available even at ``record="metrics"``
+  or ``"none"`` — the trace costs O(interesting events), not O(run length).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
-from repro.sim.runs import RunRecord
+from repro.sim.observers import SimObserver
+from repro.sim.runs import RunRecord, StepRecord
 from repro.sim.types import ProcessId, Time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.scheduler import Simulation
 
 #: tags rendered by default, with a short label each.
 DEFAULT_TAGS = {
@@ -48,6 +60,19 @@ def _summarize(tag: str, payload: tuple) -> str:
     return repr(payload)
 
 
+def _render_events(
+    events: list[tuple[Time, ProcessId, str, str]], horizon: Time
+) -> str:
+    """The shared line format: ``t=...  p<k>  <label> <summary>``."""
+    events = sorted(events, key=lambda e: (e[0], e[1]))
+    width = len(str(horizon))
+    lines = [
+        f"t={t:>{width}}  p{pid}  {label:>6} {summary}".rstrip()
+        for t, pid, label, summary in events
+    ]
+    return "\n".join(lines)
+
+
 def timeline(
     run: RunRecord,
     *,
@@ -73,13 +98,70 @@ def timeline(
         crash_at = run.failure_pattern.crash_time(pid)
         if crash_at is not None and start <= crash_at <= horizon:
             events.append((crash_at, pid, "CRASH", ""))
-    events.sort(key=lambda e: (e[0], e[1]))
-    width = len(str(horizon))
-    lines = [
-        f"t={t:>{width}}  p{pid}  {label:>6} {summary}".rstrip()
-        for t, pid, label, summary in events
-    ]
-    return "\n".join(lines)
+    return _render_events(events, horizon)
+
+
+class TimelineObserver(SimObserver):
+    """Collects timeline events live, independent of the recording fidelity.
+
+    Attach via ``Simulation(observers=[...])`` or ``Scenario.observe(...)``;
+    after (or during) the run, :meth:`render` yields the same text
+    :func:`timeline` would produce from a full run record.
+    """
+
+    def __init__(
+        self,
+        *,
+        tags: dict[str, str] | None = None,
+        pids: list[ProcessId] | None = None,
+    ) -> None:
+        self.tags = tags if tags is not None else DEFAULT_TAGS
+        self.pids = pids
+        self.events: list[tuple[Time, ProcessId, str, str]] = []
+        self._horizon: Time = 0
+
+    def on_step(self, sim: "Simulation", record: StepRecord) -> None:
+        if record.time > self._horizon:
+            self._horizon = record.time
+        if not record.outputs:
+            return
+        self._collect(record)
+
+    def on_finish(self, sim: "Simulation") -> None:
+        # At reduced fidelity on_step only sees interesting steps; extend the
+        # horizon to the run's true last live tick so crash annotations past
+        # the last event are not dropped.
+        if sim.last_live_tick > self._horizon:
+            self._horizon = sim.last_live_tick
+
+    def _collect(self, record: StepRecord) -> None:
+        if self.pids is not None and record.pid not in self.pids:
+            return
+        for value in record.outputs:
+            if isinstance(value, tuple) and value and value[0] in self.tags:
+                tag = value[0]
+                self.events.append(
+                    (
+                        record.time,
+                        record.pid,
+                        self.tags[tag],
+                        _summarize(tag, tuple(value[1:])),
+                    )
+                )
+
+    def render(self, *, failure_pattern: Any = None) -> str:
+        """The merged timeline text (optionally annotating crash times)."""
+        events = list(self.events)
+        horizon = self._horizon
+        if failure_pattern is not None:
+            selected = (
+                self.pids if self.pids is not None else range(failure_pattern.n)
+            )
+            for pid in selected:
+                crash_at = failure_pattern.crash_time(pid)
+                if crash_at is not None and crash_at <= horizon:
+                    events.append((crash_at, pid, "CRASH", ""))
+        return _render_events(events, horizon)
 
 
 def sequence_comparison(

@@ -1,0 +1,247 @@
+"""Scenario suites: parameter grids executed across worker processes.
+
+Every experiment in this repository sweeps *something* — seeds, crash
+schedules, delay models, detector stabilization times, protocol stacks. A
+:class:`ScenarioSuite` names those axes once, expands the cross product into
+cells, and executes the cells either serially or across a
+``multiprocessing`` pool:
+
+    from repro.suite import ScenarioSuite
+
+    def cell(*, tau, seed):                     # module level → picklable
+        sim = Scenario(4, seed=seed).omega(tau=tau).etob() \\
+            .broadcast(0, 20, "m").record("outputs").run(2000)
+        return check_etob(sim.run).tau
+
+    result = (
+        ScenarioSuite(cell)
+        .axis("tau", [0, 100, 200])
+        .seeds(8)
+        .run(workers=4)
+    )
+
+Determinism: cells are enumerated in a fixed order (the cross product of the
+axes in declaration order) and each cell's parameters — including its seed —
+are fixed before any worker starts, so results are independent of worker
+count and scheduling. Derived seeds come from a stable hash of
+``(base_seed, index)`` reduced to 31 bits, never from ``hash()`` or global
+RNG state.
+
+Parallel execution pickles ``(runner, params)`` to the workers, so the runner
+must be a module-level callable (or a ``functools.partial`` of one) and the
+returned values must be picklable. Serial execution (``workers=0``) accepts
+any callable. Exceptions inside a cell do not abort the suite; they are
+captured per cell in :attr:`CellResult.error`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.detectors.base import stable_hash
+from repro.sim.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SuiteCell:
+    """One point of the parameter grid."""
+
+    index: int
+    params: dict[str, Any]
+
+
+@dataclass
+class CellResult:
+    """Outcome of one executed cell."""
+
+    index: int
+    params: dict[str, Any]
+    value: Any = None
+    error: str | None = None
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SuiteResult:
+    """All cell outcomes of one suite run, in grid order."""
+
+    name: str
+    cells: list[CellResult] = field(default_factory=list)
+    wall_time: float = 0.0
+    workers: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True iff every cell ran without raising."""
+        return all(cell.ok for cell in self.cells)
+
+    def failures(self) -> list[CellResult]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def values(self) -> list[Any]:
+        """The cell return values, in grid order (None for failed cells)."""
+        return [cell.value for cell in self.cells]
+
+    def select(self, **params: Any) -> list[CellResult]:
+        """Cells whose parameters match all given ``axis=value`` filters."""
+        return [
+            cell
+            for cell in self.cells
+            if all(cell.params.get(k) == v for k, v in params.items())
+        ]
+
+    def rows(self) -> list[dict[str, Any]]:
+        """One flat dict per cell: parameters plus ``value`` / ``error``."""
+        return [
+            {**cell.params, "value": cell.value, "error": cell.error}
+            for cell in self.cells
+        ]
+
+    def render(self) -> str:
+        """A compact text table of the suite outcome."""
+        lines = [
+            f"suite {self.name}: {len(self.cells)} cells, "
+            f"{len(self.failures())} failed, "
+            f"{self.wall_time:.2f}s wall ({self.workers} workers)"
+        ]
+        for cell in self.cells:
+            params = ", ".join(f"{k}={v!r}" for k, v in cell.params.items())
+            outcome = cell.error if cell.error is not None else repr(cell.value)
+            lines.append(f"  [{cell.index}] {params} -> {outcome}")
+        return "\n".join(lines)
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A decorrelated, stable per-cell seed (31-bit, reproducible everywhere)."""
+    return stable_hash("suite-cell-seed", base_seed, index) % (1 << 31)
+
+
+def _execute_cell(task: tuple[Callable[..., Any], SuiteCell]) -> CellResult:
+    """Run one cell; capture exceptions instead of propagating them."""
+    runner, cell = task
+    start = time.perf_counter()
+    try:
+        value = runner(**cell.params)
+        return CellResult(
+            cell.index, cell.params, value=value,
+            wall_time=time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 - cell isolation is the point
+        return CellResult(
+            cell.index, cell.params,
+            error=f"{type(exc).__name__}: {exc}",
+            wall_time=time.perf_counter() - start,
+        )
+
+
+class ScenarioSuite:
+    """A named parameter grid over a cell runner."""
+
+    def __init__(
+        self,
+        runner: Callable[..., Any],
+        *,
+        name: str | None = None,
+        base_seed: int = 0,
+    ) -> None:
+        if not callable(runner):
+            raise ConfigurationError(f"suite runner must be callable, got {runner!r}")
+        self.runner = runner
+        self.name = name or getattr(runner, "__name__", None) or "suite"
+        self.base_seed = base_seed
+        self._axes: dict[str, list[Any]] = {}
+
+    # -- grid definition -----------------------------------------------------
+
+    def axis(self, name: str, values: Iterable[Any]) -> "ScenarioSuite":
+        """Add (or replace) one grid axis; ``values`` must be non-empty."""
+        values = list(values)
+        if not values:
+            raise ConfigurationError(f"axis {name!r} needs at least one value")
+        self._axes[name] = values
+        return self
+
+    def axes(self, **axes: Iterable[Any]) -> "ScenarioSuite":
+        """Add several axes at once (keyword name → values)."""
+        for name, values in axes.items():
+            self.axis(name, values)
+        return self
+
+    def seeds(self, seeds: int | Iterable[int]) -> "ScenarioSuite":
+        """Add the ``seed`` axis: explicit values, or ``k`` derived ones.
+
+        An integer asks for ``k`` deterministic seeds derived from
+        ``base_seed`` via :func:`derive_seed`; an iterable is used verbatim.
+        """
+        if isinstance(seeds, int):
+            if seeds < 1:
+                raise ConfigurationError("need at least one seed")
+            values: Sequence[int] = [
+                derive_seed(self.base_seed, i) for i in range(seeds)
+            ]
+        else:
+            values = list(seeds)
+        return self.axis("seed", values)
+
+    def cells(self) -> list[SuiteCell]:
+        """The grid cells, in deterministic cross-product order."""
+        if not self._axes:
+            raise ConfigurationError("the suite has no axes; add axis()/seeds() first")
+        names = list(self._axes)
+        product: Iterator[tuple[Any, ...]] = itertools.product(
+            *(self._axes[name] for name in names)
+        )
+        return [
+            SuiteCell(index, dict(zip(names, combo)))
+            for index, combo in enumerate(product)
+        ]
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, *, workers: int | None = None, chunksize: int = 1) -> SuiteResult:
+        """Execute every cell; returns results in grid order.
+
+        ``workers=None`` uses one process per CPU (capped at the cell count);
+        ``workers=0`` or ``1`` runs serially in this process.
+        """
+        cells = self.cells()
+        tasks = [(self.runner, cell) for cell in cells]
+        start = time.perf_counter()
+        if workers is None:
+            workers = min(os.cpu_count() or 1, len(cells))
+        if workers <= 1:
+            results = [_execute_cell(task) for task in tasks]
+            effective_workers = 1
+        else:
+            import multiprocessing
+            import pickle
+
+            try:
+                pickle.dumps(self.runner)
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"suite runner {self.name!r} is not picklable ({exc}); "
+                    "parallel execution needs a module-level callable — "
+                    "use workers=0 to run closures serially"
+                ) from exc
+
+            effective_workers = min(workers, len(cells))
+            with multiprocessing.Pool(processes=effective_workers) as pool:
+                results = list(
+                    pool.imap_unordered(_execute_cell, tasks, chunksize=chunksize)
+                )
+            results.sort(key=lambda cell: cell.index)
+        return SuiteResult(
+            name=self.name,
+            cells=results,
+            wall_time=time.perf_counter() - start,
+            workers=effective_workers,
+        )

@@ -149,3 +149,39 @@ class TestNetwork:
         net.pop_deliverable(1, 5)
         assert net.sent_count == 1
         assert net.delivered_count == 1
+
+
+class TestLivePendingCounter:
+    def test_send_and_pop_update_counter(self):
+        net = Network(2, FixedDelay(1))
+        assert net.live_pending == 0
+        net.send(0, 1, "a", 0)
+        net.send(0, 1, "b", 0)
+        assert net.live_pending == 2
+        net.pop_deliverable(1, 5)
+        assert net.live_pending == 1
+
+    def test_mark_crashed_discounts_queued_messages(self):
+        net = Network(3, FixedDelay(1))
+        net.send(0, 1, "m1", 0)
+        net.send(0, 2, "m2", 0)
+        net.mark_crashed(1)
+        assert net.live_pending == 1
+        # Messages sent to a dead receiver are never counted.
+        net.send(0, 1, "m3", 0)
+        assert net.live_pending == 1
+
+    def test_mark_crashed_is_idempotent(self):
+        net = Network(2, FixedDelay(1))
+        net.send(0, 1, "m", 0)
+        net.mark_crashed(1)
+        net.mark_crashed(1)
+        assert net.live_pending == 0
+
+    def test_counter_matches_pending_for_live_receivers(self):
+        net = Network(4, FixedDelay(2))
+        for receiver in (1, 2, 3, 2):
+            net.send(0, receiver, "m", 0)
+        net.mark_crashed(2)
+        alive = {0, 1, 3}
+        assert net.live_pending == net.pending_for(alive)

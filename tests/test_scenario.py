@@ -128,3 +128,69 @@ class TestEndToEnd:
             return [(s.time, s.pid, s.sent) for s in sim.run.steps]
 
         assert run_once() == run_once()
+
+
+class TestCrashMajority:
+    def test_even_n_crashes_a_strict_majority(self):
+        # Regression: for even n, ceil(n/2) = n/2 is NOT a majority; the
+        # builder must crash floor(n/2)+1 processes for both parities.
+        sim = Scenario(4).crash_majority(at=10).etob().omega(leader=3).build()
+        assert sim.failure_pattern.faulty == frozenset({0, 1, 2})
+        assert len(sim.failure_pattern.faulty) > 4 // 2
+        assert not sim.failure_pattern.has_correct_majority
+
+    def test_odd_n_unchanged(self):
+        sim = Scenario(5).crash_majority(at=10).etob().omega(leader=4).build()
+        assert sim.failure_pattern.faulty == frozenset({0, 1, 2})
+
+    def test_n6(self):
+        sim = Scenario(6).crash_majority(at=10).etob().omega(leader=5).build()
+        assert sim.failure_pattern.faulty == frozenset({0, 1, 2, 3})
+
+
+class TestSigmaQuorumOrdering:
+    def sample(self, sim):
+        return sim.detector.query(0, 0)
+
+    def test_omega_then_strong_tob_upgrades_detector(self):
+        sim = Scenario(5, seed=1).omega(tau=50).strong_tob(quorum="sigma").build()
+        value = self.sample(sim)
+        assert isinstance(value, dict) and "sigma" in value and "omega" in value
+
+    def test_strong_tob_then_omega_upgrades_detector(self):
+        # Regression: the upgrade used to fire only if omega() had already
+        # been configured when strong_tob() ran; it now resolves at build().
+        sim = Scenario(5, seed=1).strong_tob(quorum="sigma").omega(tau=50).build()
+        value = self.sample(sim)
+        assert isinstance(value, dict) and "sigma" in value and "omega" in value
+
+    def test_majority_quorums_keep_bare_omega(self):
+        sim = Scenario(5, seed=1).strong_tob().omega(tau=50).build()
+        assert not isinstance(self.sample(sim), dict)
+
+
+class TestEngineAndRecordChainers:
+    def test_record_and_engine_passthrough(self):
+        sim = Scenario(3).omega().etob().record("metrics").engine("naive").build()
+        assert sim.record_level == "metrics"
+        assert sim.engine == "naive"
+
+    def test_default_is_event_full(self):
+        sim = Scenario(3).omega().etob().build()
+        assert sim.engine == "event"
+        assert sim.record_level == "full"
+
+    def test_sigma_upgrade_preserves_pinned_leader(self):
+        sim = (
+            Scenario(5, seed=1)
+            .omega(tau=0, leader=2)
+            .strong_tob(quorum="sigma")
+            .build()
+        )
+        value = sim.detector.query(0, 100)
+        assert value["omega"] == 2
+
+    def test_later_stack_discards_sigma_quorum_request(self):
+        sim = Scenario(4).strong_tob(quorum="sigma").omega(tau=0).etob().build()
+        # The etob stack never asked for Sigma; its samples stay bare pids.
+        assert not isinstance(sim.detector.query(0, 0), dict)

@@ -1,0 +1,157 @@
+"""Tests for the scenario-suite runner (grids, seeding, workers, sweeps)."""
+
+import pytest
+
+from repro.properties import check_etob
+from repro.scenario import Scenario
+from repro.sim.errors import ConfigurationError
+from repro.suite import CellResult, ScenarioSuite, SuiteResult, derive_seed
+
+
+def etob_tau_cell(*, tau, seed):
+    """Module-level cell runner (parallel workers need picklable callables)."""
+    sim = (
+        Scenario(3, seed=seed)
+        .omega(tau=tau)
+        .etob()
+        .broadcast(0, 20, "m")
+        .record("outputs")
+        .run(max(900, tau * 3 + 300))
+    )
+    return check_etob(sim.run).ok
+
+
+def failing_cell(*, seed):
+    raise ValueError(f"boom {seed}")
+
+
+def add_cell(*, a, b):
+    return a + b
+
+
+class TestGrid:
+    def test_cells_are_cross_product_in_declaration_order(self):
+        suite = ScenarioSuite(add_cell).axis("a", [1, 2]).axis("b", [10, 20, 30])
+        cells = suite.cells()
+        assert len(cells) == 6
+        assert cells[0].params == {"a": 1, "b": 10}
+        assert cells[1].params == {"a": 1, "b": 20}
+        assert cells[-1].params == {"a": 2, "b": 30}
+        assert [c.index for c in cells] == list(range(6))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite(add_cell).axis("a", [])
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite(add_cell).cells()
+
+    def test_non_callable_runner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite("not a function")
+
+    def test_axes_shorthand(self):
+        suite = ScenarioSuite(add_cell).axes(a=[1], b=[2, 3])
+        assert len(suite.cells()) == 2
+
+
+class TestSeeding:
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(0, 0) == derive_seed(0, 0)
+        assert derive_seed(0, 0) != derive_seed(0, 1)
+        assert derive_seed(0, 0) != derive_seed(1, 0)
+
+    def test_seeds_count_expands_deterministically(self):
+        a = ScenarioSuite(add_cell, base_seed=5).seeds(3)._axes["seed"]
+        b = ScenarioSuite(add_cell, base_seed=5).seeds(3)._axes["seed"]
+        assert a == b
+        assert len(set(a)) == 3
+
+    def test_explicit_seed_values_used_verbatim(self):
+        suite = ScenarioSuite(add_cell).seeds([4, 8])
+        assert suite._axes["seed"] == [4, 8]
+
+    def test_zero_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite(add_cell).seeds(0)
+
+
+class TestExecution:
+    def test_serial_run_returns_values_in_grid_order(self):
+        result = (
+            ScenarioSuite(add_cell).axis("a", [1, 2]).axis("b", [10]).run(workers=0)
+        )
+        assert isinstance(result, SuiteResult)
+        assert result.ok
+        assert result.values() == [11, 12]
+        assert result.workers == 1
+
+    def test_cell_errors_are_captured_not_raised(self):
+        result = ScenarioSuite(failing_cell).seeds([1, 2]).run(workers=0)
+        assert not result.ok
+        assert len(result.failures()) == 2
+        assert "boom" in result.failures()[0].error
+        assert result.values() == [None, None]
+
+    def test_select_and_rows(self):
+        result = (
+            ScenarioSuite(add_cell).axis("a", [1, 2]).axis("b", [5, 6]).run(workers=0)
+        )
+        picked = result.select(a=2)
+        assert [c.value for c in picked] == [7, 8]
+        rows = result.rows()
+        assert rows[0] == {"a": 1, "b": 5, "value": 6, "error": None}
+
+    def test_render_mentions_failures(self):
+        result = ScenarioSuite(failing_cell).seeds([3]).run(workers=0)
+        text = result.render()
+        assert "1 failed" in text and "ValueError" in text
+
+    def test_parallel_matches_serial(self):
+        suite = ScenarioSuite(add_cell).axis("a", [1, 2, 3]).axis("b", [10, 20])
+        serial = suite.run(workers=0)
+        parallel = suite.run(workers=2)
+        assert parallel.ok
+        assert serial.values() == parallel.values()
+        assert [c.params for c in serial.cells] == [c.params for c in parallel.cells]
+
+    def test_parallel_scenario_cells(self):
+        result = (
+            ScenarioSuite(etob_tau_cell)
+            .axis("tau", [0, 150])
+            .seeds([0, 1])
+            .run(workers=2)
+        )
+        assert result.ok, result.failures()
+        assert result.values() == [True, True, True, True]
+
+
+class TestExperimentSweep:
+    def test_sweep_runs_experiment_across_seeds(self):
+        from repro.analysis.experiments import sweep, sweep_rows
+
+        result = sweep("EXP-5", seeds=[0, 1], workers=0)
+        assert result.ok, result.failures()
+        assert len(result.cells) == 2
+        rows = sweep_rows(result)
+        # Three scenarios per seed, each annotated with its seed parameter.
+        assert len(rows) == 6
+        assert {row["seed"] for row in rows} == {0, 1}
+        assert all(row["ok"] for row in rows)
+
+    def test_sweep_unknown_experiment_rejected(self):
+        from repro.analysis.experiments import run_experiment
+
+        with pytest.raises(KeyError):
+            run_experiment("EXP-99")
+
+    def test_sweep_parallel_workers(self):
+        from repro.analysis.experiments import sweep
+
+        result = sweep("EXP-5", seeds=[0, 1], workers=2)
+        assert result.ok, result.failures()
+        serial = sweep("EXP-5", seeds=[0, 1], workers=0)
+        assert [c.value.rows for c in result.cells] == [
+            c.value.rows for c in serial.cells
+        ]
