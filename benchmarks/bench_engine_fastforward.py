@@ -22,7 +22,9 @@ TICKS = 100_000
 REQUIRED_SPEEDUP = 3.0
 
 
-def sparse_etob_sim(*, engine: str, record: str) -> Simulation:
+def sparse_etob_sim(
+    *, engine: str, record: str, scheduling: str = "round_robin"
+) -> Simulation:
     """ETOB, stable leader, 2 broadcasts over 100k ticks, slow timers."""
     n = 4
     pattern = FailurePattern.no_failures(n)
@@ -34,6 +36,7 @@ def sparse_etob_sim(*, engine: str, record: str) -> Simulation:
         delay_model=FixedDelay(2),
         timeout_interval=512,
         seed=1,
+        scheduling=scheduling,
         engine=engine,
         record=record,
     )
@@ -42,8 +45,13 @@ def sparse_etob_sim(*, engine: str, record: str) -> Simulation:
     return sim
 
 
-def timed_run(*, engine: str, record: str) -> tuple[Simulation, float]:
-    sim = sparse_etob_sim(engine=engine, record=record)
+def timed_run(
+    *, engine: str, record: str, scheduling: str = "round_robin",
+    random_ff: str | None = None,
+) -> tuple[Simulation, float]:
+    sim = sparse_etob_sim(engine=engine, record=record, scheduling=scheduling)
+    if random_ff is not None:
+        sim._random_ff = random_ff
     start = time.perf_counter()
     sim.run_until(TICKS)
     return sim, time.perf_counter() - start
@@ -68,6 +76,53 @@ def test_fast_forward_speedup_on_sparse_run():
     assert speedup >= REQUIRED_SPEEDUP, (
         f"fast-forward speedup degraded: {speedup:.2f}x < {REQUIRED_SPEEDUP}x"
     )
+
+
+def test_random_schedule_blockwise_beats_per_tick_scan():
+    """The ROADMAP fast-forward gap, closed: under random scheduling the
+    blockwise skip (counter-based per-block permutations, idle spans
+    accounted arithmetically) must clearly beat the per-tick scan it
+    replaced on a sparse run — and compute the identical trajectory.
+    Nominal speedup is ~8-15x; the floor is conservative for loaded CI."""
+    scan_sim, scan_time = timed_run(
+        engine="event", record="metrics", scheduling="random", random_ff="scan"
+    )
+    block_sim, block_time = timed_run(
+        engine="event", record="metrics", scheduling="random"
+    )
+
+    assert block_sim._random_ff == "block"
+    assert scan_sim.metrics.as_dict() == block_sim.metrics.as_dict()
+    assert scan_sim.network.sent_count == block_sim.network.sent_count
+    assert scan_sim.network.delivered_count == block_sim.network.delivered_count
+
+    speedup = scan_time / block_time
+    print(
+        f"\nsparse 100k-tick random-schedule run: per-tick scan {scan_time:.3f}s, "
+        f"blockwise {block_time:.4f}s -> {speedup:.1f}x "
+        f"({block_sim.metrics.idle_ticks_skipped} idle ticks skipped)"
+    )
+    assert speedup >= 2.5, (
+        f"blockwise fast-forward regressed: {speedup:.2f}x < 2.5x over the scan"
+    )
+
+
+def test_random_schedule_event_vs_naive_speedup():
+    """End-to-end: event engine at metrics fidelity vs the seed-equivalent
+    naive-full configuration, now under random scheduling too."""
+    naive_sim, naive_time = timed_run(
+        engine="naive", record="full", scheduling="random"
+    )
+    event_sim, event_time = timed_run(
+        engine="event", record="metrics", scheduling="random"
+    )
+    assert event_sim.network.sent_count == naive_sim.network.sent_count
+    speedup = naive_time / event_time
+    print(
+        f"\nrandom-schedule sparse run: naive-full {naive_time:.3f}s, "
+        f"event-metrics {event_time:.4f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP
 
 
 def test_full_fidelity_event_engine_is_not_slower():

@@ -1,66 +1,76 @@
 #!/usr/bin/env python3
-"""Regenerate EXPERIMENTS.md from live experiment runs.
+"""Regenerate EXPERIMENTS.md and BENCH_report.json from multi-seed sweeps.
 
-Runs every experiment in ``repro.analysis.experiments.ALL_EXPERIMENTS`` and
-writes the paper-claim vs. measured-outcome record. Usage::
+Every registered experiment runs as a :func:`repro.analysis.experiments.sweep`
+across ``--seeds`` seeds (default 3) on the streaming suite backend, which
+prints a live progress line per completed cell. The per-seed rows are folded
+through each experiment's report spec (see
+:class:`repro.analysis.experiments.ReportSpec`) into one mean ± spread table
+per experiment — no number in EXPERIMENTS.md is hand-edited. Usage::
 
-    python benchmarks/generate_report.py [output-path]
+    python -m benchmarks.generate_report [output.md] [--seeds N] [--workers N]
+                                         [--json BENCH_report.json]
+                                         [--spread stdev|iqr] [--smoke]
+
+``--smoke`` is the CI gate: one seed, serial-friendly, exits non-zero if any
+experiment cell raises. The exit code is non-zero on any cell failure in
+every mode, so a broken experiment can never silently regenerate the report.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import platform
 import sys
 import time
+from pathlib import Path
 
-from repro.analysis.experiments import ALL_EXPERIMENTS
+# Make `python benchmarks/generate_report.py` and `python -m
+# benchmarks.generate_report` work without an exported PYTHONPATH. The
+# checkout's src/ is inserted ahead of any installed `repro`, so the report
+# always reflects the working tree it sits in.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-PREAMBLE = """\
-# EXPERIMENTS — paper claims vs. measured outcomes
+from repro.analysis.experiments import (  # noqa: E402
+    ALL_EXPERIMENTS,
+    EXPERIMENT_REGISTRY,
+    aggregate_sweep,
+    sweep,
+    sweep_rows,
+)
+from repro.suite import SuiteProgress  # noqa: E402
 
-Paper: *The Weakest Failure Detector for Eventual Consistency*
-(Dubois, Guerraoui, Kuznetsov, Petit, Sens; PODC 2015).
-
-The paper is a theory paper with no tables or figures; its evaluation is a
-set of theorems and quantitative claims. Each experiment below regenerates
-one claim on the simulator substrate (see DESIGN.md for the substitutions).
-Absolute numbers are simulator ticks — only *shapes* (who wins, by what
-factor, where behaviour changes) carry over, which is exactly what the paper
-asserts. Regenerate this file with::
-
-    python benchmarks/generate_report.py
-
-Run the same experiments with wall-time accounting and shape assertions::
-
-    pytest benchmarks/ --benchmark-only -s
-
-| Exp | Paper claim | Reproduced? |
-|-----|-------------|-------------|
-| EXP-1 | ETOB delivers in 2 communication steps; strong TOB needs 3 | yes — 2.0 vs 3.0 measured |
-| EXP-2 | EC and ETOB are inter-transformable (Theorem 1, Algs 1-2) | yes — target specs hold |
-| EXP-3 | Omega suffices for EC in any environment (Lemma 2) | yes — incl. minority-correct |
-| EXP-4 | ETOB stabilizes by tau_Omega + Dt + Dc (Lemma 3) | yes — bound holds |
-| EXP-5 | Stable Omega from start => strong TOB (Alg 5 property 2) | yes — tau = 0 |
-| EXP-6 | Causal order holds even during divergence (property 3) | yes — ablation breaks it |
-| EXP-7 | Omega is necessary: CHT extraction emulates it (Lemma 1) | yes — bounded prefixes |
-| EXP-8 | Sigma is the exact gap: availability without majority | yes — blocked vs available |
-| EXP-9 | EC and EIC are equivalent (Theorem 3, Appendix A) | yes — finite revisions |
-| EXP-10 | Ablations: churn, promote period, heartbeat Omega under GST | yes — expected shapes |
-
-Commentary per experiment follows each measured table.
-"""
+CLAIMS = {
+    "EXP-1": "ETOB delivers in 2 communication steps; strong TOB needs 3",
+    "EXP-2": "EC and ETOB are inter-transformable (Theorem 1, Algs 1-2)",
+    "EXP-3": "Omega suffices for EC in any environment (Lemma 2)",
+    "EXP-4": "ETOB stabilizes by tau_Omega + Dt + Dc (Lemma 3)",
+    "EXP-5": "Stable Omega from start => strong TOB (Alg 5 property 2)",
+    "EXP-6": "Causal order holds even during divergence (property 3)",
+    "EXP-7": "Omega is necessary: CHT extraction emulates it (Lemma 1)",
+    "EXP-8": "Sigma is the exact gap: availability without majority",
+    "EXP-9": "EC and EIC are equivalent (Theorem 3, Appendix A)",
+    "EXP-10a": "Ablation: divergence window grows with churn duration",
+    "EXP-10b": "Ablation: promote period trades chatter for latency",
+    "EXP-10c": "Ablation: heartbeat Omega stabilizes shortly after GST",
+}
 
 COMMENTARY = {
     "EXP-1": (
         "Paper (Sections 1, 5, 7): an invocation completes after the optimal "
         "two communication steps under a stable leader, vs. three for strong "
-        "consistency [22]. Measured: ~2.0 vs ~3.0 at every system size — the "
-        "gap is exactly one message delay."
+        "consistency [22]. Measured: ~2 vs ~3 steps at every system size and "
+        "seed — the gap is exactly one message delay."
     ),
     "EXP-2": (
         "Theorem 1: Algorithms 1 and 2 turn any EC into ETOB and vice versa. "
-        "Measured: every stack passes the full target-specification checker; "
-        "the transformation costs extra traffic relative to the native "
-        "Algorithm 5 (it funnels every batch through consensus instances)."
+        "Measured: every stack passes the full target-specification checker "
+        "on every seed; the transformation costs extra traffic relative to "
+        "the native Algorithm 5 (it funnels every batch through consensus "
+        "instances)."
     ),
     "EXP-3": (
         "Lemma 2: Algorithm 4 implements EC with Omega in any environment. "
@@ -73,7 +83,7 @@ COMMENTARY = {
         "Lemma 3's proof constructs tau = tau_Omega + Delta_t + Delta_c. "
         "Measured tau (discovered by the checker as the last stability or "
         "order violation, plus one) stays within that bound for every "
-        "tau_Omega swept."
+        "tau_Omega swept, on every seed."
     ),
     "EXP-5": (
         "Property (2) of Algorithm 5: if Omega is stable from the very "
@@ -85,8 +95,8 @@ COMMENTARY = {
         "Property (3): TOB-Causal-Order holds unconditionally in time. "
         "Measured: zero violations across thousands of ordered pairs under "
         "churn and network reordering; the arrival-order ablation (no causal "
-        "graph) produces violations on the same workload, so the guarantee "
-        "is earned by UpdateCG/UnionCG/UpdatePromote."
+        "graph) produces violations on the same workload at every seed, so "
+        "the guarantee is earned by UpdateCG/UnionCG/UpdatePromote."
     ),
     "EXP-7": (
         "Lemma 1 (the generalized CHT proof): Omega is extractable from any "
@@ -125,25 +135,201 @@ COMMENTARY = {
     ),
 }
 
+PREAMBLE = """\
+# EXPERIMENTS — paper claims vs. measured outcomes
 
-def main() -> None:
-    output = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
-    sections = [PREAMBLE]
-    for name, fn in ALL_EXPERIMENTS.items():
-        started = time.time()
-        result = fn()
-        elapsed = time.time() - started
-        sections.append(f"\n## {name}\n")
+Paper: *The Weakest Failure Detector for Eventual Consistency*
+(Dubois, Guerraoui, Kuznetsov, Petit, Sens; PODC 2015).
+
+The paper is a theory paper with no tables or figures; its evaluation is a
+set of theorems and quantitative claims. Each experiment below regenerates
+one claim on the simulator substrate (see DESIGN.md for the substitutions).
+Absolute numbers are simulator ticks — only *shapes* (who wins, by what
+factor, where behaviour changes) carry over, which is exactly what the paper
+asserts. The claims are statistical over schedules, so every table is a
+multi-seed sweep quoting mean ± spread; no number below is hand-edited.
+"""
+
+METHODOLOGY = """\
+## Methodology
+
+- **Sweeps.** Every table is produced by `sweep(key, seeds=N)`
+  (`repro.analysis.experiments`): the experiment function runs once per
+  seed as one cell of a `ScenarioSuite` grid, across worker processes on
+  the streaming backend (`run(backend="stream")`, completion-order
+  consumption with deterministic reassembly by cell index). Cell parameters
+  are fixed before any worker starts, so results are independent of worker
+  count and completion order.
+- **Seeds.** {seeds} seeds per cell, derived from base seed 0 via
+  `repro.suite.derive_seed` (a stable FNV-1a hash of `(base_seed, index)`)
+  — never from `hash()` or global RNG state, so every rerun and every
+  machine sees the same seeds.
+- **Spread metric.** `mean ± {spread_name}` per numeric column
+  ({spread_detail}). Boolean verdicts are quoted as `true/total` seed
+  counts; discrete outcomes (elected leaders, paper constants) as the set
+  of distinct values observed.
+- **Aggregation.** Each experiment declares which row columns are scenario
+  identity, measurements, verdicts, and discrete outcomes
+  (`ReportSpec`); `aggregate_sweep` folds the per-seed rows through that
+  spec. `BENCH_report.json` holds the same aggregates plus every raw
+  per-seed row.
+- **Reproduce.** `python -m benchmarks.generate_report` rewrites this file
+  and `BENCH_report.json`; `--seeds`/`--spread` change the sweep width and
+  dispersion metric; `--smoke` (1 seed) is the CI gate and fails on any
+  cell error. Wall times below are simulation-host time per sweep.
+"""
+
+
+def reproduced_label(
+    key: str, aggregated: list[dict], seeds: int, failed_cells: int
+) -> str:
+    """The summary-table verdict, computed from the sweep's flag counts.
+
+    ``seeds`` must be the *observed* seed count (failed cells contribute no
+    rows); any failed cell forces a partial verdict regardless of the flags
+    the surviving seeds report.
+    """
+    if failed_cells:
+        return f"partial — {failed_cells} cell(s) failed"
+    spec = EXPERIMENT_REGISTRY[key].report
+    flags = spec.flags if spec is not None else ()
+    if not flags:
+        return "measured — see table"
+    true = total = 0
+    for row in aggregated:
+        for flag in flags:
+            count = row.get(flag)
+            if isinstance(count, dict):
+                true += count["true"]
+                total += count["total"]
+    if total and true == total:
+        return f"yes — all checks, {seeds} seed{'s' if seeds != 1 else ''}"
+    return f"partial — {true}/{total} checks"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument("--json", default="BENCH_report.json", dest="json_path")
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--spread", choices=("stdev", "iqr"), default="stdev")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate: 1 seed per experiment, fail fast on any cell error",
+    )
+    args = parser.parse_args(argv)
+    seeds = 1 if args.smoke else args.seeds
+    if seeds < 1:
+        parser.error("--seeds must be >= 1")
+
+    spread_name = "sample stdev" if args.spread == "stdev" else "IQR"
+    spread_detail = (
+        "sample standard deviation over seeds, 0 for a single seed"
+        if args.spread == "stdev"
+        else "interquartile range over seeds, 0 for a single seed"
+    )
+
+    summary_rows: list[str] = []
+    sections: list[str] = []
+    report: dict = {
+        "paper": "The Weakest Failure Detector for Eventual Consistency (PODC 2015)",
+        "generator": "benchmarks/generate_report.py",
+        "python": platform.python_version(),
+        "seeds": seeds,
+        "spread": args.spread,
+        "smoke": args.smoke,
+        "experiments": {},
+    }
+    failures: list[str] = []
+    total_started = time.perf_counter()
+    for key in ALL_EXPERIMENTS:
+        definition = EXPERIMENT_REGISTRY[key]
+        started = time.perf_counter()
+        result = sweep(
+            key,
+            seeds=seeds,
+            workers=args.workers,
+            backend="stream",
+            progress=SuiteProgress(label=key),
+        )
+        elapsed = time.perf_counter() - started
+        for failure in result.failures():
+            failures.append(f"{key} {failure.params!r}: {failure.error}")
+        if definition.report is not None:
+            table, aggregated = aggregate_sweep(key, result, spread=args.spread)
+            table_text = table.render()
+        else:
+            # Spec-less experiments are legal (see the experiment()
+            # decorator); quote their per-seed tables verbatim rather than
+            # failing the whole report.
+            aggregated = []
+            table_text = "\n\n".join(
+                cell.value.render() for cell in result.cells if cell.ok
+            )
+        observed_seeds = {
+            row["seed"] for row in sweep_rows(result) if "seed" in row
+        }
+        summary_rows.append(
+            f"| {key} | {CLAIMS.get(key, definition.title)} | "
+            f"{reproduced_label(key, aggregated, len(observed_seeds), len(result.failures()))} |"
+        )
+        sections.append(f"\n## {key} — {definition.title}\n")
         sections.append("```")
-        sections.append(result.render())
+        sections.append(table_text)
         sections.append("```")
-        sections.append(f"\n{COMMENTARY.get(name, '')}")
-        sections.append(f"\n*(measured in {elapsed:.1f} s of simulation-host time)*")
-        print(f"{name}: done in {elapsed:.1f}s")
-    with open(output, "w") as f:
-        f.write("\n".join(sections) + "\n")
-    print(f"wrote {output}")
+        sections.append(f"\n{COMMENTARY.get(key, '')}")
+        sections.append(f"\n*(swept in {elapsed:.1f} s of simulation-host time)*")
+        report["experiments"][key] = {
+            "title": definition.title,
+            "claim": CLAIMS.get(key, definition.title),
+            "spec": None
+            if definition.report is None
+            else {
+                "group_by": definition.report.group_by,
+                "metrics": definition.report.metrics,
+                "flags": definition.report.flags,
+                "values": definition.report.values,
+            },
+            "aggregated": aggregated,
+            "rows": sweep_rows(result),
+            "wall_time_s": round(elapsed, 3),
+            "cells_failed": len(result.failures()),
+        }
+        print(f"{key}: swept {seeds} seed(s) in {elapsed:.1f}s", file=sys.stderr)
+
+    report["wall_time_s"] = round(time.perf_counter() - total_started, 3)
+    report["ok"] = not failures
+
+    document = [PREAMBLE]
+    document.append(
+        f"Regenerate with `python -m benchmarks.generate_report` "
+        f"(this run: {seeds} seed{'s' if seeds != 1 else ''} per experiment, "
+        f"spread = {spread_name}); the benchmark harness "
+        f"(`pytest benchmarks/ --benchmark-only -s`) adds wall-time accounting "
+        f"and shape assertions.\n"
+    )
+    document.append("| Exp | Paper claim | Reproduced? |")
+    document.append("|-----|-------------|-------------|")
+    document.extend(summary_rows)
+    document.append("")
+    document.append(METHODOLOGY.format(
+        seeds=seeds, spread_name=spread_name, spread_detail=spread_detail,
+    ))
+    document.extend(sections)
+
+    Path(args.output).write_text("\n".join(document) + "\n")
+    Path(args.json_path).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output} and {args.json_path}", file=sys.stderr)
+
+    if failures:
+        print("FAILED cells:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -29,6 +29,8 @@ from repro.analysis.experiments.base import (
     EXPERIMENT_REGISTRY,
     ExperimentDef,
     ExperimentResult,
+    ReportSpec,
+    aggregate_sweep,
     experiment,
     run_experiment,
     sweep,
@@ -79,6 +81,8 @@ __all__ = [
     "EXPERIMENT_REGISTRY",
     "ExperimentDef",
     "ExperimentResult",
+    "ReportSpec",
+    "aggregate_sweep",
     "experiment",
     "run_experiment",
     "sweep",

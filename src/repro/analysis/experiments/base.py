@@ -10,12 +10,21 @@ Because each experiment takes a ``seed`` keyword, any experiment can be run
 as a multi-seed sweep over the :class:`~repro.suite.ScenarioSuite` runner —
 see :func:`sweep` — and executed across worker processes with no per-
 experiment code.
+
+Experiments additionally declare a *report spec* — which row columns
+identify a scenario (``group_by``), which are numeric measurements
+(``metrics``), which are verdict booleans (``flags``), and which are
+discrete outcomes quoted verbatim (``values``) — so :func:`aggregate_sweep`
+can fold any sweep into a single mean ± spread table with per-seed verdict
+counts. ``benchmarks/generate_report.py`` builds EXPERIMENTS.md from exactly
+these hooks; no experiment ships custom aggregation code.
 """
 
 from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
+from statistics import mean, quantiles, stdev
 from typing import Any, Callable, Sequence
 
 from repro.analysis.tables import Table
@@ -40,25 +49,70 @@ class ExperimentResult:
 
 
 @dataclass(frozen=True)
+class ReportSpec:
+    """How :func:`aggregate_sweep` folds an experiment's rows across seeds.
+
+    Column roles over the experiment's row dicts (see
+    :attr:`ExperimentResult.rows`):
+
+    - ``group_by`` — columns identifying one scenario of the experiment; rows
+      sharing these values across seeds aggregate into one table row;
+    - ``metrics`` — numeric measurements, reported as ``mean ± spread``;
+    - ``flags`` — boolean verdicts, reported as ``true/total`` seed counts;
+    - ``values`` — discrete outcomes (an elected leader, a paper constant),
+      reported as the set of distinct values observed across seeds.
+    """
+
+    group_by: tuple[str, ...]
+    metrics: tuple[str, ...] = ()
+    flags: tuple[str, ...] = ()
+    values: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
 class ExperimentDef:
-    """One registered experiment: its key, runner, and a one-line title."""
+    """One registered experiment: key, runner, title, and its report spec."""
 
     key: str
     fn: Callable[..., ExperimentResult]
     title: str
+    report: ReportSpec | None = None
 
 
 #: key (e.g. ``"EXP-4"``) → definition; populated by the module decorators.
 EXPERIMENT_REGISTRY: dict[str, ExperimentDef] = {}
 
 
-def experiment(key: str, title: str = "") -> Callable:
-    """Class the decorated function as experiment ``key`` in the registry."""
+def experiment(
+    key: str,
+    title: str = "",
+    *,
+    group_by: Sequence[str] = (),
+    metrics: Sequence[str] = (),
+    flags: Sequence[str] = (),
+    values: Sequence[str] = (),
+) -> Callable:
+    """Class the decorated function as experiment ``key`` in the registry.
+
+    The keyword arguments declare the sweep-native report spec (see
+    :class:`ReportSpec`); experiments without ``group_by`` cannot be
+    aggregated by :func:`aggregate_sweep`.
+    """
 
     def decorate(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
         doc_lines = (fn.__doc__ or "").strip().splitlines()
         summary = title or (doc_lines[0] if doc_lines else key)
-        EXPERIMENT_REGISTRY[key] = ExperimentDef(key, fn, summary)
+        report = (
+            ReportSpec(
+                group_by=tuple(group_by),
+                metrics=tuple(metrics),
+                flags=tuple(flags),
+                values=tuple(values),
+            )
+            if group_by
+            else None
+        )
+        EXPERIMENT_REGISTRY[key] = ExperimentDef(key, fn, summary, report)
         return fn
 
     return decorate
@@ -94,20 +148,25 @@ def sweep(
     *,
     seeds: int | Sequence[int] = 4,
     workers: int | None = None,
+    backend: str = "stream",
+    progress: Callable | None = None,
     **axes: Sequence[Any],
 ) -> SuiteResult:
     """Run experiment ``key`` across seeds (and optional extra axes).
 
     Each suite cell invokes the experiment with one ``seed`` (plus one value
     per extra axis) and yields its :class:`ExperimentResult`; cells run across
-    ``workers`` processes. Use :func:`sweep_rows` to flatten the per-seed
-    result tables into one row list.
+    ``workers`` processes. ``backend``/``progress`` pass through to
+    :meth:`~repro.suite.ScenarioSuite.run` (``backend="stream"`` feeds a
+    live progress table). Use :func:`sweep_rows` to flatten the per-seed
+    result tables into one row list, or :func:`aggregate_sweep` for the
+    mean ± spread report table.
     """
     suite = ScenarioSuite(functools.partial(_sweep_cell, key), name=f"{key}-sweep")
     suite.seeds(seeds)
     for name, values in axes.items():
         suite.axis(name, list(values))
-    return suite.run(workers=workers)
+    return suite.run(workers=workers, backend=backend, progress=progress)
 
 
 def sweep_rows(result: SuiteResult) -> list[dict]:
@@ -119,6 +178,95 @@ def sweep_rows(result: SuiteResult) -> list[dict]:
         for row in cell.value.rows:
             rows.append({**cell.params, **row})
     return rows
+
+
+def _spread(values: Sequence[float], metric: str) -> float:
+    """Dispersion of ``values``: sample stdev (default) or IQR."""
+    if len(values) < 2:
+        return 0.0
+    if metric == "stdev":
+        return stdev(values)
+    if metric == "iqr":
+        q1, __, q3 = quantiles(values, n=4, method="inclusive")
+        return q3 - q1
+    raise ValueError(f"unknown spread metric {metric!r}; use 'stdev' or 'iqr'")
+
+
+def aggregate_sweep(
+    key: str, result: SuiteResult, *, spread: str = "stdev"
+) -> tuple[Table, list[dict]]:
+    """Fold a :func:`sweep` outcome into one mean ± spread table.
+
+    Rows are grouped by the experiment's :class:`ReportSpec` ``group_by``
+    columns (in first-seen order — the experiment's own scenario order);
+    within each group, ``metrics`` aggregate to ``mean ± spread`` over the
+    seeds (non-numeric / missing entries are skipped), ``flags`` to
+    ``true/total`` counts, and ``values`` to the set of distinct outcomes.
+    Returns the rendered :class:`~repro.analysis.tables.Table` plus
+    machine-readable aggregate rows (mean/spread/min/max per metric,
+    true/total per flag) for the JSON report.
+    """
+    definition = EXPERIMENT_REGISTRY[key]
+    spec = definition.report
+    if spec is None:
+        raise ValueError(f"experiment {key!r} declares no report spec")
+    rows = sweep_rows(result)
+    seeds = sorted({row["seed"] for row in rows if "seed" in row})
+
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        groups.setdefault(tuple(row.get(c) for c in spec.group_by), []).append(row)
+
+    spread_tag = "sd" if spread == "stdev" else spread
+    headers = (
+        list(spec.group_by)
+        + [f"{m} (mean ± {spread_tag})" for m in spec.metrics]
+        + list(spec.values)
+        + [f"{f} (seeds)" for f in spec.flags]
+    )
+    table = Table(
+        f"{key}: {definition.title} — {len(seeds)} seeds, "
+        f"spread = {'sample stdev' if spread == 'stdev' else 'IQR'}",
+        headers,
+    )
+    aggregated: list[dict] = []
+    for group_key, group in groups.items():
+        cells: list[Any] = list(group_key)
+        agg_row: dict[str, Any] = dict(zip(spec.group_by, group_key))
+        for metric in spec.metrics:
+            numbers = [
+                row[metric]
+                for row in group
+                if isinstance(row.get(metric), (int, float))
+                and not isinstance(row.get(metric), bool)
+            ]
+            if not numbers:
+                cells.append("-")
+                agg_row[metric] = None
+                continue
+            mu = mean(numbers)
+            sigma = _spread(numbers, spread)
+            cells.append(f"{mu:.2f} ± {sigma:.2f}")
+            agg_row[metric] = {
+                "mean": mu,
+                "spread": sigma,
+                "min": min(numbers),
+                "max": max(numbers),
+                "count": len(numbers),
+            }
+        for column in spec.values:
+            distinct = sorted({repr(row.get(column)) for row in group})
+            # ", " — never " | ", which Table.render uses as the column
+            # separator and would make multi-outcome cells read as columns.
+            cells.append(", ".join(distinct))
+            agg_row[column] = distinct
+        for flag in spec.flags:
+            verdicts = [bool(row[flag]) for row in group if flag in row]
+            cells.append(f"{sum(verdicts)}/{len(verdicts)}")
+            agg_row[flag] = {"true": sum(verdicts), "total": len(verdicts)}
+        table.add_row(*cells)
+        aggregated.append(agg_row)
+    return table, aggregated
 
 
 # ---------------------------------------------------------------------------

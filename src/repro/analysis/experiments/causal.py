@@ -17,7 +17,13 @@ from repro.properties import check_causal_order, check_etob
 from repro.sim import FailurePattern, ProtocolStack, Simulation, UniformRandomDelay
 
 
-@experiment("EXP-6", "causal order always holds; the graph ablation breaks it")
+@experiment(
+    "EXP-6",
+    "causal order always holds; the graph ablation breaks it",
+    group_by=("variant",),
+    metrics=("violations", "pairs"),
+    flags=("etob_ok",),
+)
 def exp_causal(*, seed: int = 0) -> ExperimentResult:
     """EXP-6: TOB-Causal-Order under churn; ablation without the causal graph."""
     n = 4
@@ -47,6 +53,7 @@ def exp_causal(*, seed: int = 0) -> ExperimentResult:
             timeout_interval=2,
             seed=seed,
             message_batch=4,
+            record="outputs",  # both checkers read the delivery timeline only
         )
         for pid, t, payload in broadcasts:
             sim.add_input(pid, t, ("broadcast", payload))
@@ -65,7 +72,13 @@ def exp_causal(*, seed: int = 0) -> ExperimentResult:
     return ExperimentResult("causal", table, rows)
 
 
-@experiment("EXP-10a", "leader churn duration vs divergence")
+@experiment(
+    "EXP-10a",
+    "leader churn duration vs divergence",
+    group_by=("tau_omega",),
+    metrics=("windows", "total_divergence"),
+    flags=("ok",),
+)
 def exp_ablation_churn(
     taus: Sequence[int] = (0, 150, 300, 600), *, seed: int = 0
 ) -> ExperimentResult:
@@ -95,6 +108,7 @@ def exp_ablation_churn(
             timeout_interval=3,
             seed=seed,
             message_batch=4,
+            record="outputs",  # divergence_windows and check_etob are timeline-based
         )
         for pid, t, payload in broadcasts:
             sim.add_input(pid, t, ("broadcast", payload))

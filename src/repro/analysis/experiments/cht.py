@@ -9,7 +9,14 @@ from repro.detectors import OmegaDetector
 from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
 
 
-@experiment("EXP-7", "the distributed reduction emulates Omega from EC runs")
+@experiment(
+    "EXP-7",
+    "the distributed reduction emulates Omega from EC runs",
+    group_by=("scenario",),
+    metrics=("extractions",),
+    flags=("correct", "stabilized"),
+    values=("leader",),
+)
 def exp_cht_extraction(*, seed: int = 0) -> ExperimentResult:
     """EXP-7: the distributed reduction emulates Omega from EC runs."""
     from repro.cht import OmegaExtractionProcess, TreeBounds

@@ -13,7 +13,13 @@ from repro.properties import check_eic
 from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
 
 
-@experiment("EXP-9", "EIC: finite revisions, final agreement (Appendix A)")
+@experiment(
+    "EXP-9",
+    "EIC: finite revisions, final agreement (Appendix A)",
+    group_by=("scenario",),
+    metrics=("revisions", "integrity_index"),
+    flags=("ok",),
+)
 def exp_eic(*, seed: int = 0) -> ExperimentResult:
     """EXP-9: EIC behaves per Appendix A; revisions stop after stabilization."""
     table = Table(
@@ -36,6 +42,7 @@ def exp_eic(*, seed: int = 0) -> ExperimentResult:
             delay_model=FixedDelay(2),
             timeout_interval=4,
             seed=seed,
+            record="outputs",  # check_eic reads the output history only
         )
         sim.run_until(3000)
         report = check_eic(sim.run, expected_instances=40)

@@ -15,7 +15,13 @@ from repro.properties import check_ec, extract_timeline
 from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
 
 
-@experiment("EXP-3", "EC from Omega in any environment (Lemma 2)")
+@experiment(
+    "EXP-3",
+    "EC from Omega in any environment (Lemma 2)",
+    group_by=("environment", "tau_omega"),
+    metrics=("k", "k_time"),
+    flags=("ok",),
+)
 def exp_ec_any_environment(*, seed: int = 0) -> ExperimentResult:
     """EXP-3: Algorithm 4 across environments and stabilization times."""
     table = Table(
@@ -44,6 +50,7 @@ def exp_ec_any_environment(*, seed: int = 0) -> ExperimentResult:
             delay_model=FixedDelay(2),
             timeout_interval=4,
             seed=seed,
+            record="outputs",  # check_ec reads the output history only
         )
         sim.run_until(3000)
         report = check_ec(sim.run, expected_instances=40)
@@ -66,7 +73,14 @@ def exp_ec_any_environment(*, seed: int = 0) -> ExperimentResult:
     return ExperimentResult("ec-any-environment", table, rows)
 
 
-@experiment("EXP-8", "availability without a correct majority (the Sigma gap)")
+@experiment(
+    "EXP-8",
+    "availability without a correct majority (the Sigma gap)",
+    group_by=("protocol", "detector"),
+    metrics=("delivered",),
+    flags=("as_expected",),
+    values=("available",),
+)
 def exp_partition_gap(*, seed: int = 0) -> ExperimentResult:
     """EXP-8: crash a majority; only Omega-only ETOB and Omega+Sigma
     consensus stay available."""
@@ -77,12 +91,14 @@ def exp_partition_gap(*, seed: int = 0) -> ExperimentResult:
         ["protocol", "detector", "delivered after crash", "available"],
     )
     rows: list[dict] = []
+    # The *shape* is the claim: Omega-only ETOB and Omega+Sigma consensus
+    # must stay available, majority-quorum consensus must block.
     cases = [
-        ("etob", "majority", "Omega"),
-        ("tob-consensus", "majority", "Omega (majority quorums)"),
-        ("tob-consensus", "sigma", "Omega + Sigma"),
+        ("etob", "majority", "Omega", True),
+        ("tob-consensus", "majority", "Omega (majority quorums)", False),
+        ("tob-consensus", "sigma", "Omega + Sigma", True),
     ]
-    for protocol, quorum_mode, detector_label in cases:
+    for protocol, quorum_mode, detector_label, expected_available in cases:
         broadcasts = [(3, 200, "post-crash-1"), (4, 320, "post-crash-2")]
         sim = _run_broadcast_scenario(
             protocol,
@@ -108,6 +124,7 @@ def exp_partition_gap(*, seed: int = 0) -> ExperimentResult:
                 "detector": detector_label,
                 "delivered": delivered,
                 "available": available,
+                "as_expected": available == expected_available,
             }
         )
         table.add_row(

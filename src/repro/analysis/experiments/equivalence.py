@@ -16,7 +16,13 @@ from repro.properties import check_ec, check_etob
 from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
 
 
-@experiment("EXP-2", "Theorem 1 equivalence on transformation stacks")
+@experiment(
+    "EXP-2",
+    "Theorem 1 equivalence on transformation stacks",
+    group_by=("stack",),
+    metrics=("tau", "k", "sent"),
+    flags=("ok",),
+)
 def exp_equivalence(*, n: int = 4, seed: int = 0) -> ExperimentResult:
     """EXP-2: the transformation stacks satisfy the target specifications."""
     table = Table(
@@ -62,11 +68,19 @@ def exp_equivalence(*, n: int = 4, seed: int = 0) -> ExperimentResult:
         timeout_interval=2,
         seed=seed,
         message_batch=4,
+        record="outputs",  # check_ec reads the output history only
     )
     sim.run_until(6000)
     ec = check_ec(sim.run, expected_instances=25)
     counts = message_counts(sim)
-    rows.append({"stack": "ETOB->EC (Alg 2 over Alg 5)", "ok": ec.ok, "k": ec.agreement_index})
+    rows.append(
+        {
+            "stack": "ETOB->EC (Alg 2 over Alg 5)",
+            "ok": ec.ok,
+            "k": ec.agreement_index,
+            "sent": counts["sent"],
+        }
+    )
     table.add_row(
         "ETOB->EC (Alg 2 over Alg 5)",
         "EC",
@@ -91,11 +105,19 @@ def exp_equivalence(*, n: int = 4, seed: int = 0) -> ExperimentResult:
         timeout_interval=2,
         seed=seed,
         message_batch=4,
+        record="outputs",
     )
     sim.run_until(6000)
     ec = check_ec(sim.run, expected_instances=80)
     counts = message_counts(sim)
-    rows.append({"stack": "EC (Alg 4, native)", "ok": ec.ok, "k": ec.agreement_index})
+    rows.append(
+        {
+            "stack": "EC (Alg 4, native)",
+            "ok": ec.ok,
+            "k": ec.agreement_index,
+            "sent": counts["sent"],
+        }
+    )
     table.add_row(
         "EC (Alg 4, native)", "EC", ec.ok, f"k={ec.agreement_index}", counts["sent"]
     )

@@ -10,7 +10,14 @@ from repro.detectors.heartbeat import HeartbeatOmegaProcess
 from repro.sim import FailurePattern, GstDelay, Simulation
 
 
-@experiment("EXP-10c", "heartbeat Omega stabilizes after GST")
+@experiment(
+    "EXP-10c",
+    "heartbeat Omega stabilizes after GST",
+    group_by=("gst",),
+    metrics=("stabilized_at",),
+    flags=("correct",),
+    values=("leader",),
+)
 def exp_ablation_heartbeat_gst(
     gsts: Sequence[int] = (50, 150, 300), *, seed: int = 0
 ) -> ExperimentResult:

@@ -13,7 +13,13 @@ from repro.analysis.tables import Table
 from repro.properties import check_etob, check_tob
 
 
-@experiment("EXP-4", "ETOB stabilization vs the paper bound (Lemma 3)")
+@experiment(
+    "EXP-4",
+    "ETOB stabilization vs the paper bound (Lemma 3)",
+    group_by=("tau_omega",),
+    metrics=("tau", "bound"),
+    flags=("within_bound", "ok"),
+)
 def exp_etob_stabilization(
     taus: Sequence[int] = (0, 100, 200, 400), *, seed: int = 0
 ) -> ExperimentResult:
@@ -48,6 +54,7 @@ def exp_etob_stabilization(
                 "tau_omega": tau_omega,
                 "tau": report.tau,
                 "bound": bound,
+                "within_bound": report.tau <= bound,
                 "ok": report.ok,
             }
         )
@@ -55,7 +62,13 @@ def exp_etob_stabilization(
     return ExperimentResult("etob-stabilization", table, rows)
 
 
-@experiment("EXP-5", "stable Omega from the start implies strong TOB")
+@experiment(
+    "EXP-5",
+    "stable Omega from the start implies strong TOB",
+    group_by=("scenario",),
+    metrics=("tau",),
+    flags=("ok",),
+)
 def exp_tob_mode(*, seed: int = 0) -> ExperimentResult:
     """EXP-5: Algorithm 5 satisfies *strong* TOB when Omega never changes."""
     table = Table(

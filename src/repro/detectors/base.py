@@ -6,7 +6,11 @@ import abc
 from typing import Any
 
 from repro.sim.failures import FailurePattern
-from repro.sim.types import ProcessId, Time
+
+# stable_hash lives with the simulator primitives (the scheduler keys its
+# per-block permutations on it) but is re-exported here because detectors and
+# suite seeding are its oldest clients.
+from repro.sim.types import ProcessId, Time, stable_hash  # noqa: F401
 
 
 class FailureDetectorHistory(abc.ABC):
@@ -43,16 +47,3 @@ class FailureDetector(abc.ABC):
         return self.name or type(self).__name__
 
 
-def stable_hash(*parts: Any) -> int:
-    """A deterministic 63-bit hash of the given parts.
-
-    ``hash()`` is randomized per interpreter run for strings; detector
-    histories must instead be pure functions of ``(pattern, seed, pid, t)``,
-    so adversarial pre-stabilization behaviours use this helper.
-    """
-    acc = 1469598103934665603  # FNV-1a offset basis
-    for part in parts:
-        for byte in repr(part).encode():
-            acc ^= byte
-            acc = (acc * 1099511628211) % (1 << 63)
-    return acc

@@ -15,6 +15,13 @@ The paper guarantees such a ``k`` exists for infinite admissible runs; on a
 finite run callers assert ``agreement_index <= L`` (agreement was actually
 observed) and typically relate ``k``'s decision time to the detector's
 stabilization time.
+
+Fidelity contract (audited): the checker is *step-list independent*. It
+reads only ``run.tagged_outputs`` (backed by ``run.output_history``) and
+``run.failure_pattern.correct`` — never ``run.steps``, ``run.steps_of``,
+``run.fd_samples``, or the diagnostic log — so any recording level that
+retains the output history is sufficient: ``record="outputs"`` gives the
+same verdicts as ``record="full"`` at a fraction of the memory and runtime.
 """
 
 from __future__ import annotations

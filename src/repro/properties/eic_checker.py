@@ -11,6 +11,12 @@ responses) and ``("revise", l, v)`` (subsequent responses) — the convention of
   instance in ``1..L`` (the finite-run reading of "no two processes return
   infinitely different values");
 - EIC-Validity: every response (initial or revision) was a proposed value.
+
+Fidelity contract (audited): step-list independent, like
+:mod:`~repro.properties.ec_checker`. Only ``run.tagged_outputs`` (the
+``H_O`` output history) and ``run.failure_pattern.correct`` are consulted —
+revision ordering relies on output timestamps, not on step records — so
+``record="outputs"`` yields verdicts identical to ``record="full"``.
 """
 
 from __future__ import annotations

@@ -11,7 +11,11 @@ Fairness: with round-robin scheduling process ``p`` steps at every tick
 ``t ≡ p (mod n)`` while alive, so every correct process takes infinitely many
 steps; with seeded random scheduling each block of ``n`` ticks is a random
 permutation of the processes, preserving fairness while exercising different
-interleavings.
+interleavings. Block permutations are *counter-based*: block ``b``'s
+permutation is drawn from an RNG keyed on ``(seed, b)`` (via
+:func:`~repro.sim.types.stable_hash`), not from a shared sequential stream,
+so any block's schedule can be derived without visiting the blocks before
+it — the property the blockwise fast-forward below relies on.
 
 Engines
 =======
@@ -26,10 +30,15 @@ drive the clock:
   *interesting* tick (the minimum of: next deliverable envelope, next pending
   input, next due local timeout, the pending ``on_start``; gated by the
   process's crash boundary) and fast-forwards the clock over idle stretches.
-  Under round-robin scheduling the jump is O(1) per skipped stretch; under
-  random scheduling ticks are scanned with a cheap O(1) idleness check per
-  tick (the per-block RNG draws must happen in naive order to keep runs
-  bit-identical across engines).
+  Under round-robin scheduling the jump is O(1) per skipped stretch. Under
+  random scheduling the skip is *blockwise*: every tick strictly before the
+  earliest pending event is idle regardless of which permutation the
+  scheduler draws, so whole idle spans are accounted arithmetically and only
+  the blocks straddling a span edge or a crash boundary have their
+  permutation derived (each process holds exactly one slot per block, so a
+  full block's live-tick count needs no permutation at all). Permutations
+  are keyed by block index, which is what makes deriving them out of order
+  — and skipping them entirely — sound.
 
 Fast-forward invariants (checked by ``tests/test_engine_differential.py``):
 
@@ -66,7 +75,13 @@ from repro.sim.network import DelayModel, FixedDelay, Network
 from repro.sim.observers import RunMetrics, SimObserver, make_recorder
 from repro.sim.process import Process
 from repro.sim.runs import ReceivedMessage, RunRecord, StepRecord
-from repro.sim.types import ProcessId, Time, validate_process_id, validate_time
+from repro.sim.types import (
+    ProcessId,
+    Time,
+    stable_hash,
+    validate_process_id,
+    validate_time,
+)
 
 
 class DetectorHistory(Protocol):
@@ -119,6 +134,9 @@ class Simulation:
             raise ConfigurationError("network size does not match process count")
         self.detector = detector
         self.seed = seed
+        #: kept for compatibility; scheduling no longer consumes it (block
+        #: permutations are keyed on ``(seed, block)`` instead of drawn from
+        #: a shared stream), so its state is untouched by a run.
         self.rng = random.Random(seed)
         if scheduling not in ("round_robin", "random"):
             raise ConfigurationError(f"unknown scheduling policy {scheduling!r}")
@@ -155,8 +173,12 @@ class Simulation:
         self._inputs: list[list[tuple[Time, int, Any]]] = [[] for _ in range(self.n)]
         self._input_seq = itertools.count()
         self._permutation: list[ProcessId] = list(range(self.n))
-        #: block index the current permutation was drawn for (-1 = none yet).
+        #: block index the cached permutation was derived for (-1 = none yet).
         self._perm_block = -1
+        #: random-scheduling fast-forward strategy: ``"block"`` (default)
+        #: skips idle spans arithmetically; ``"scan"`` forces the per-tick
+        #: walk (kept as the differential/benchmark baseline).
+        self._random_ff = "block"
         self.run = RunRecord(self.n, self.failure_pattern, seed=seed)
         self.record_level = record
         #: aggregate counters; populated by the ``record="metrics"`` recorder
@@ -203,12 +225,23 @@ class Simulation:
     def _scheduled_pid(self, t: Time) -> ProcessId:
         if self.scheduling == "round_robin":
             return t % self.n
-        block = t // self.n
+        return self._permutation_for_block(t // self.n)[t % self.n]
+
+    def _permutation_for_block(self, block: int) -> list[ProcessId]:
+        """The schedule permutation of block ``block`` (counter-based).
+
+        Keyed on ``(seed, block)`` so any block's permutation is derivable
+        without visiting earlier blocks: the naive stepper, the per-tick
+        scan, and the blockwise fast-forward see identical schedules no
+        matter which blocks they actually touch.
+        """
         if block != self._perm_block:
-            self._permutation = list(range(self.n))
-            self.rng.shuffle(self._permutation)
+            rng = random.Random(stable_hash("block-permutation", self.seed, block))
+            permutation = list(range(self.n))
+            rng.shuffle(permutation)
+            self._permutation = permutation
             self._perm_block = block
-        return self._permutation[t % self.n]
+        return self._permutation
 
     def step(self) -> StepRecord | None:
         """Advance the clock one tick; run the scheduled process if alive.
@@ -312,18 +345,19 @@ class Simulation:
         queue = self._inputs[pid]
         return bool(queue) and queue[0][0] <= t
 
-    def _next_event_tick_rr(self) -> Time | None:
-        """Earliest interesting tick >= now under round-robin, or None.
+    def _next_event_times(self) -> list[Time]:
+        """Per process, the earliest time with work pending (clamped to now).
 
-        O(n): each process contributes its earliest event time (deliverable
-        envelope, pending input, due timeout, pending start), aligned to its
-        next scheduled tick and gated by its crash boundary.
+        The minimum of: next deliverable envelope, next pending input, next
+        due timeout, and the pending ``on_start`` (= now for an unstarted
+        process). Valid until the next executed step — fast-forwarding never
+        changes any of these, so both engines compute the list once per
+        advance and reuse it across the skipped span.
         """
-        n, now = self.n, self.time
+        now = self.time
         network = self.network
-        pattern = self.failure_pattern
-        best: Time | None = None
-        for pid in range(n):
+        events: list[Time] = []
+        for pid in range(self.n):
             if pid in self._started:
                 event_at = self._next_timeout[pid]
                 deliver_at = network.next_delivery_time(pid)
@@ -336,6 +370,19 @@ class Simulation:
                     event_at = now
             else:
                 event_at = now
+            events.append(event_at)
+        return events
+
+    def _next_event_tick_rr(self) -> Time | None:
+        """Earliest interesting tick >= now under round-robin, or None.
+
+        O(n): each process contributes its earliest event time, aligned to
+        its next scheduled tick and gated by its crash boundary.
+        """
+        n = self.n
+        pattern = self.failure_pattern
+        best: Time | None = None
+        for pid, event_at in enumerate(self._next_event_times()):
             tick = event_at + ((pid - event_at) % n)
             crash_at = pattern.crash_times.get(pid)
             if crash_at is not None and tick >= crash_at:
@@ -402,11 +449,18 @@ class Simulation:
     def _advance_event_random(self, t_end: Time) -> None:
         """Advance to the next interesting tick under random scheduling.
 
-        Random scheduling draws one permutation per block of ``n`` ticks from
-        the simulation RNG; those draws must happen in naive order for runs to
-        stay bit-identical across engines, so idle ticks are scanned with a
-        cheap O(1) check instead of being jumped over.
+        When an observer needs every idle-step record the ticks must be
+        visited one by one anyway; otherwise the blockwise skip jumps over
+        idle spans without the per-tick check (byte-identical outcomes —
+        pinned by the differential tests).
         """
+        if self._materialize_idle or self._random_ff == "scan":
+            self._advance_event_random_scan(t_end)
+        else:
+            self._advance_event_random_block(t_end)
+
+    def _advance_event_random_scan(self, t_end: Time) -> None:
+        """Per-tick walk: check each tick's scheduled process for due work."""
         t = self.time
         materialize = self._materialize_idle
         while t < t_end:
@@ -423,6 +477,143 @@ class Simulation:
                     self.last_live_tick = t
             t += 1
         self.time = t_end
+
+    def _advance_event_random_block(self, t_end: Time) -> None:
+        """Blockwise skip: jump idle spans instead of checking every tick.
+
+        Any tick strictly before the earliest pending event (over processes
+        that can still act) is idle no matter which permutation the scheduler
+        draws, so the span up to that horizon is accounted arithmetically by
+        :meth:`_skip_span_random`. Only the block containing the horizon is
+        then walked tick-by-tick — and it may come up empty (the scheduled
+        slot of the process owning the event can fall before the event), in
+        which case the horizon is recomputed past the block.
+        """
+        n = self.n
+        crash_times = self.failure_pattern.crash_times
+        events = self._next_event_times()
+        t = self.time
+        while t < t_end:
+            horizon: Time | None = None
+            for pid in range(n):
+                event_at = events[pid] if events[pid] > t else t
+                crash_at = crash_times.get(pid)
+                if crash_at is not None and event_at >= crash_at:
+                    continue  # pid can never act on its pending work
+                if horizon is None or event_at < horizon:
+                    horizon = event_at
+            if horizon is None or horizon >= t_end:
+                self._skip_span_random(t, t_end)
+                self.time = t_end
+                return
+            if horizon > t:
+                self._skip_span_random(t, horizon)
+                t = horizon
+            block_start = t - t % n
+            hi = min(block_start + n, t_end)
+            perm = self._permutation_for_block(t // n)
+            while t < hi:
+                pid = perm[t - block_start]
+                crash_at = crash_times.get(pid)
+                if crash_at is None or t < crash_at:
+                    if events[pid] <= t:
+                        self.time = t
+                        self.step()
+                        return
+                    self.metrics.idle_ticks_skipped += 1
+                    if t > self.last_live_tick:
+                        self.last_live_tick = t
+                t += 1
+        self.time = t_end
+
+    def _skip_span_random(self, start: Time, end: Time) -> None:
+        """Fast-forward over ``[start, end)`` (random scheduling, all idle).
+
+        Counts live idle ticks and finds the last live tick without visiting
+        each tick: a process occupies exactly one slot per block, so full
+        blocks contribute arithmetically and only blocks straddling a span
+        edge or a crash boundary need their permutation derived.
+        """
+        if start >= end:
+            return
+        live = end - start
+        crash_times = self.failure_pattern.crash_times
+        if crash_times:
+            live -= self._crashed_ticks_random(start, end)
+        self.metrics.idle_ticks_skipped += live
+        if live:
+            last = self._last_live_tick_random(start, end)
+            if last > self.last_live_tick:
+                self.last_live_tick = last
+
+    def _crashed_ticks_random(self, start: Time, end: Time) -> int:
+        """Ticks in ``[start, end)`` owned by an already-crashed process."""
+        n = self.n
+        crash_times = self.failure_pattern.crash_times
+
+        def crashed_in_segment(block: int, lo: Time, hi: Time) -> int:
+            perm = self._permutation_for_block(block)
+            base = block * n
+            count = 0
+            for t in range(lo, hi):
+                crash_at = crash_times.get(perm[t - base])
+                if crash_at is not None and t >= crash_at:
+                    count += 1
+            return count
+
+        first_block = start // n
+        last_block = (end - 1) // n
+        if first_block == last_block:
+            return crashed_in_segment(first_block, start, end)
+        crashed = 0
+        full_lo = first_block
+        if start % n:
+            crashed += crashed_in_segment(first_block, start, (first_block + 1) * n)
+            full_lo = first_block + 1
+        full_hi = last_block
+        if end % n:
+            crashed += crashed_in_segment(last_block, last_block * n, end)
+        else:
+            full_hi = last_block + 1
+        for pid, crash_at in crash_times.items():
+            # Blocks whose every slot is at or past the crash time contribute
+            # one crashed tick each regardless of permutation; the single
+            # block containing the boundary needs its permutation to place
+            # the process's slot relative to the crash.
+            dead_from = -(-crash_at // n)
+            lo = max(full_lo, dead_from)
+            if lo < full_hi:
+                crashed += full_hi - lo
+            boundary = crash_at // n
+            if boundary < dead_from and full_lo <= boundary < full_hi:
+                perm = self._permutation_for_block(boundary)
+                if boundary * n + perm.index(pid) >= crash_at:
+                    crashed += 1
+        return crashed
+
+    def _last_live_tick_random(self, start: Time, end: Time) -> Time:
+        """The last live tick in ``[start, end)``, or -1 when all are crashed.
+
+        When some process never crashes every block holds a live slot, so the
+        walk ends within one block; when every process crashes, ticks at or
+        past the latest crash are all dead and the walk is clamped below it.
+        """
+        n = self.n
+        crash_times = self.failure_pattern.crash_times
+        t = end - 1
+        if len(crash_times) == n:
+            t = min(t, max(crash_times.values()) - 1)
+        while t >= start:
+            block = t // n
+            base = block * n
+            perm = self._permutation_for_block(block)
+            lo = base if base > start else start
+            while t >= lo:
+                crash_at = crash_times.get(perm[t - base])
+                if crash_at is None or t < crash_at:
+                    return t
+                t -= 1
+        return -1
 
     def _finish(self) -> None:
         for observer in self._finish_observers:

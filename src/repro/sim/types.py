@@ -7,6 +7,8 @@ global clock ranging over the natural numbers. We identify processes with
 
 from __future__ import annotations
 
+from typing import Any
+
 ProcessId = int
 Time = int
 
@@ -30,3 +32,20 @@ def validate_time(t: Time) -> None:
         raise ValueError(f"time must be an int, got {t!r}")
     if t < 0:
         raise ValueError(f"time must be non-negative, got {t}")
+
+
+def stable_hash(*parts: Any) -> int:
+    """A deterministic 63-bit hash of the given parts.
+
+    ``hash()`` is randomized per interpreter run for strings; anything that
+    must be a pure function of its inputs across interpreter runs and worker
+    processes — detector histories of ``(pattern, seed, pid, t)``, per-cell
+    suite seeds, the random scheduler's per-block permutation keys — uses
+    this helper instead.
+    """
+    acc = 1469598103934665603  # FNV-1a offset basis
+    for part in parts:
+        for byte in repr(part).encode():
+            acc ^= byte
+            acc = (acc * 1099511628211) % (1 << 63)
+    return acc

@@ -32,18 +32,39 @@ must be a module-level callable (or a ``functools.partial`` of one) and the
 returned values must be picklable. Serial execution (``workers=0``) accepts
 any callable. Exceptions inside a cell do not abort the suite; they are
 captured per cell in :attr:`CellResult.error`.
+
+Backends: ``run(backend="stream")`` (default) executes over a process pool
+whose results are consumed in *completion order* (the ``imap_unordered``
+shape) and reassembled deterministically by cell index, so a ``progress``
+callback — e.g. :class:`SuiteProgress`, a live progress table — observes
+every cell as it lands instead of waiting for the slowest. The streaming
+backend also surfaces hard worker deaths (a cell calling ``os._exit``, a
+segfault, an OOM kill) as :class:`SuiteExecutionError` rather than hanging.
+``run(backend="batch")`` executes over a ``multiprocessing.Pool`` with
+``chunksize`` — useful for grids of many trivial cells — but cannot detect
+a dying worker; both backends capture ordinary cell exceptions per cell.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence, TextIO
 
-from repro.detectors.base import stable_hash
 from repro.sim.errors import ConfigurationError
+from repro.sim.types import stable_hash
+
+
+class SuiteExecutionError(RuntimeError):
+    """A worker process died mid-suite; the run's results are incomplete.
+
+    Distinct from a cell *raising* (captured per cell in
+    :attr:`CellResult.error`): this is the pool itself breaking — a worker
+    killed by a signal, an ``os._exit`` inside a cell, an OOM kill.
+    """
 
 
 @dataclass(frozen=True)
@@ -67,6 +88,14 @@ class CellResult:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    def describe(self, *, value_width: int | None = None) -> str:
+        """``param=value, ... -> outcome`` (shared by render and progress)."""
+        params = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        outcome = self.error if self.error is not None else repr(self.value)
+        if value_width is not None and len(outcome) > value_width:
+            outcome = outcome[: value_width - 3] + "..."
+        return f"{params} -> {outcome}"
 
 
 @dataclass
@@ -113,9 +142,7 @@ class SuiteResult:
             f"{self.wall_time:.2f}s wall ({self.workers} workers)"
         ]
         for cell in self.cells:
-            params = ", ".join(f"{k}={v!r}" for k, v in cell.params.items())
-            outcome = cell.error if cell.error is not None else repr(cell.value)
-            lines.append(f"  [{cell.index}] {params} -> {outcome}")
+            lines.append(f"  [{cell.index}] {cell.describe()}")
         return "\n".join(lines)
 
 
@@ -206,38 +233,122 @@ class ScenarioSuite:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self, *, workers: int | None = None, chunksize: int = 1) -> SuiteResult:
+    def _require_picklable_runner(self) -> None:
+        import pickle
+
+        try:
+            pickle.dumps(self.runner)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"suite runner {self.name!r} is not picklable ({exc}); "
+                "parallel execution needs a module-level callable — "
+                "use workers=0 to run closures serially"
+            ) from exc
+
+    def stream(self, *, workers: int | None = None) -> Iterator[CellResult]:
+        """Yield each cell's result as it completes (completion order).
+
+        Serial (``workers`` <= 1) streams in grid order from this process and
+        accepts any callable. Parallel streams from a process pool in
+        whatever order workers finish — consumers needing grid order sort by
+        :attr:`CellResult.index` (``run(backend="stream")`` does). A worker
+        that dies outright raises :class:`SuiteExecutionError` naming the
+        cell being awaited.
+        """
+        cells = self.cells()
+        if workers is None:
+            workers = min(os.cpu_count() or 1, len(cells))
+        if workers <= 1:
+            for cell in cells:
+                yield _execute_cell((self.runner, cell))
+            return
+
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        self._require_picklable_runner()
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(cells)))
+        try:
+            futures = {
+                executor.submit(_execute_cell, (self.runner, cell)): cell
+                for cell in cells
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        yield future.result()
+                    except BrokenProcessPool as exc:
+                        cell = futures[future]
+                        raise SuiteExecutionError(
+                            f"a worker process died while suite {self.name!r} "
+                            f"awaited cell {cell.index} ({cell.params!r}); "
+                            "completed results are unreliable — rerun the suite"
+                        ) from exc
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def run(
+        self,
+        *,
+        workers: int | None = None,
+        chunksize: int = 1,
+        backend: str = "stream",
+        progress: Callable[[CellResult, int, int], None] | None = None,
+    ) -> SuiteResult:
         """Execute every cell; returns results in grid order.
 
         ``workers=None`` uses one process per CPU (capped at the cell count);
         ``workers=0`` or ``1`` runs serially in this process.
+        The default ``backend="stream"`` executes over :meth:`stream`
+        (completion-order consumption, deterministic reassembly by cell
+        index, and hard worker deaths surfaced as
+        :class:`SuiteExecutionError` instead of hanging);
+        ``backend="batch"`` uses a ``multiprocessing.Pool`` with
+        ``chunksize``, which amortizes dispatch for grids of many trivial
+        cells but cannot detect a dying worker. ``progress`` — e.g.
+        :class:`SuiteProgress` — is invoked as
+        ``progress(result, completed, total)`` after each cell on either
+        backend; cell enumeration and seeding are identical across backends
+        and worker counts, so the *result* is too.
         """
+        if backend not in ("batch", "stream"):
+            raise ConfigurationError(
+                f"unknown suite backend {backend!r}; expected 'batch' or 'stream'"
+            )
         cells = self.cells()
-        tasks = [(self.runner, cell) for cell in cells]
+        total = len(cells)
         start = time.perf_counter()
         if workers is None:
-            workers = min(os.cpu_count() or 1, len(cells))
-        if workers <= 1:
-            results = [_execute_cell(task) for task in tasks]
-            effective_workers = 1
+            workers = min(os.cpu_count() or 1, total)
+        effective_workers = max(1, min(workers, total))
+
+        def note(results: list[CellResult]) -> None:
+            if progress is not None:
+                progress(results[-1], len(results), total)
+
+        results: list[CellResult] = []
+        if backend == "stream" or workers <= 1:
+            # stream(workers<=1) is the serial loop, so the batch backend
+            # shares it rather than duplicating the iteration.
+            if workers <= 1:
+                effective_workers = 1
+            for result in self.stream(workers=workers):
+                results.append(result)
+                note(results)
+            results.sort(key=lambda cell: cell.index)
         else:
             import multiprocessing
-            import pickle
 
-            try:
-                pickle.dumps(self.runner)
-            except Exception as exc:
-                raise ConfigurationError(
-                    f"suite runner {self.name!r} is not picklable ({exc}); "
-                    "parallel execution needs a module-level callable — "
-                    "use workers=0 to run closures serially"
-                ) from exc
-
-            effective_workers = min(workers, len(cells))
+            self._require_picklable_runner()
+            tasks = [(self.runner, cell) for cell in cells]
             with multiprocessing.Pool(processes=effective_workers) as pool:
-                results = list(
-                    pool.imap_unordered(_execute_cell, tasks, chunksize=chunksize)
-                )
+                for result in pool.imap_unordered(
+                    _execute_cell, tasks, chunksize=chunksize
+                ):
+                    results.append(result)
+                    note(results)
             results.sort(key=lambda cell: cell.index)
         return SuiteResult(
             name=self.name,
@@ -245,3 +356,35 @@ class ScenarioSuite:
             wall_time=time.perf_counter() - start,
             workers=effective_workers,
         )
+
+
+class SuiteProgress:
+    """A ``progress`` callback rendering a live table, one line per cell.
+
+    ::
+
+        suite.run(backend="stream", progress=SuiteProgress(label="EXP-4"))
+        # [ 3/12] EXP-4: tau=200, seed=1400073466 -> ExperimentResult(...) (1.42s)
+
+    Lines go to ``stream`` (default: stderr, keeping stdout clean for piped
+    report output) as cells complete, so long sweeps show where they are
+    instead of going dark until the end.
+    """
+
+    def __init__(
+        self, *, stream: TextIO | None = None, label: str | None = None,
+        value_width: int = 48,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.value_width = value_width
+
+    def __call__(self, result: CellResult, completed: int, total: int) -> None:
+        prefix = f"{self.label}: " if self.label else ""
+        width = len(str(total))
+        self.stream.write(
+            f"[{completed:>{width}}/{total}] "
+            f"{prefix}{result.describe(value_width=self.value_width)} "
+            f"({result.wall_time:.2f}s)\n"
+        )
+        self.stream.flush()

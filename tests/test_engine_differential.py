@@ -154,6 +154,81 @@ class TestEngineDifferential:
         assert sim.network.in_transit(1) == 1  # the letter itself lingers
 
 
+class TestRandomBlockwiseFastForward:
+    """The blockwise random-scheduler skip (the default at reduced fidelity)
+    is byte-identical to both the naive stepper and the per-tick scan it
+    replaced, over randomized scenarios."""
+
+    @pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
+    def test_blockwise_matches_naive_at_outputs_fidelity(self, seed):
+        config = random_config(seed)
+        config["scheduling"] = "random"
+        naive = run_sim(build_sim(config, engine="naive", record="outputs"), config)
+        block = run_sim(build_sim(config, engine="event", record="outputs"), config)
+        assert block._random_ff == "block"
+        assert naive.run == block.run, f"run records diverged for config {config}"
+        assert naive.time == block.time
+        assert naive.network.sent_count == block.network.sent_count
+        assert naive.network.delivered_count == block.network.delivered_count
+        assert naive._next_timeout == block._next_timeout
+
+    @pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
+    def test_blockwise_matches_per_tick_scan_at_metrics_fidelity(self, seed):
+        config = random_config(seed)
+        config["scheduling"] = "random"
+        scan = build_sim(config, engine="event", record="metrics")
+        scan._random_ff = "scan"
+        run_sim(scan, config)
+        block = run_sim(build_sim(config, engine="event", record="metrics"), config)
+        assert scan.metrics.as_dict() == block.metrics.as_dict()
+        assert scan.last_live_tick == block.last_live_tick
+        assert scan.time == block.time
+        assert scan.network.sent_count == block.network.sent_count
+
+    def test_full_fidelity_random_runs_use_the_scan(self):
+        # Materializing observers need every idle-step record, so the
+        # blockwise path must not engage; byte-equality with the naive
+        # stepper (already pinned above) is only achievable per tick.
+        config = random_config(3)
+        config["scheduling"] = "random"
+        sim = build_sim(config, engine="event", record="full")
+        run_sim(sim, config)
+        naive = run_sim(build_sim(config, engine="naive", record="full"), config)
+        assert sim.run.steps  # idle records materialized
+        assert sim.run == naive.run
+
+    def test_all_processes_crashing_mid_span(self):
+        # The last-live-tick walk must clamp below the final crash boundary
+        # instead of scanning the whole dead tail.
+        from repro.sim import Process
+
+        class Chatter(Process):
+            def on_timeout(self, ctx):
+                ctx.send((ctx.pid + 1) % ctx.n, ("tick", ctx.time))
+
+        # Every process crashes early (no detector: Omega would require a
+        # correct process), leaving a long all-dead tail to fast-forward.
+        pattern = FailurePattern.crash(3, {0: 11, 1: 12, 2: 13})
+
+        def build(engine):
+            sim = Simulation(
+                [Chatter() for _ in range(3)],
+                failure_pattern=pattern,
+                timeout_interval=7,
+                scheduling="random",
+                seed=5,
+                engine=engine,
+                record="outputs",
+            )
+            sim.run_until(4000)
+            return sim
+
+        naive, event = build("naive"), build("event")
+        assert naive.run == event.run
+        assert naive.run.end_time == event.run.end_time
+        assert event.time == 4000
+
+
 def _is_event_step(steps, index) -> bool:
     """True iff the full-fidelity step at ``index`` did any work."""
     step = steps[index]

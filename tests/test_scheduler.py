@@ -59,6 +59,42 @@ class TestStepping:
         assert times and max(times) < 9
         assert sim.run.step_count(0) == 20
 
+    def test_block_permutations_are_derivable_out_of_order(self):
+        # Counter-based permutations: deriving block 7 cold must equal
+        # deriving blocks 0..7 in naive visit order — the property the
+        # blockwise fast-forward relies on.
+        def fresh():
+            return Simulation(
+                [Recorder() for _ in range(4)],
+                scheduling="random",
+                seed=9,
+                timeout_interval=1,
+            )
+
+        cold = list(fresh()._permutation_for_block(7))
+        warm_sim = fresh()
+        for block in range(7):
+            warm_sim._permutation_for_block(block)
+        assert list(warm_sim._permutation_for_block(7)) == cold
+        assert sorted(cold) == list(range(4))
+
+    def test_block_permutations_vary_across_blocks_and_seeds(self):
+        sim = Simulation(
+            [Recorder() for _ in range(6)],
+            scheduling="random",
+            seed=2,
+            timeout_interval=1,
+        )
+        perms = [tuple(sim._permutation_for_block(b)) for b in range(50)]
+        assert len(set(perms)) > 1
+        other = Simulation(
+            [Recorder() for _ in range(6)],
+            scheduling="random",
+            seed=3,
+            timeout_interval=1,
+        )
+        assert [tuple(other._permutation_for_block(b)) for b in range(50)] != perms
+
     def test_determinism_same_seed_same_run(self):
         def build():
             procs = [Recorder(echo_to=0) for _ in range(3)]

@@ -1,11 +1,22 @@
-"""Tests for the scenario-suite runner (grids, seeding, workers, sweeps)."""
+"""Tests for the scenario-suite runner (grids, seeding, workers, sweeps,
+and the streaming backend)."""
+
+import io
+import os
 
 import pytest
 
 from repro.properties import check_etob
 from repro.scenario import Scenario
 from repro.sim.errors import ConfigurationError
-from repro.suite import CellResult, ScenarioSuite, SuiteResult, derive_seed
+from repro.suite import (
+    CellResult,
+    ScenarioSuite,
+    SuiteExecutionError,
+    SuiteProgress,
+    SuiteResult,
+    derive_seed,
+)
 
 
 def etob_tau_cell(*, tau, seed):
@@ -23,6 +34,19 @@ def etob_tau_cell(*, tau, seed):
 
 def failing_cell(*, seed):
     raise ValueError(f"boom {seed}")
+
+
+def dying_cell(*, seed):
+    """Hard worker death: no exception to capture, the process just vanishes."""
+    os._exit(13)
+
+
+def slow_when_small_cell(*, seed):
+    """Finishes out of grid order under parallel execution."""
+    import time
+
+    time.sleep(0.15 if seed == 0 else 0.0)
+    return seed
 
 
 def add_cell(*, a, b):
@@ -125,6 +149,102 @@ class TestExecution:
         )
         assert result.ok, result.failures()
         assert result.values() == [True, True, True, True]
+
+
+class TestStreamingBackend:
+    def test_stream_matches_batch_in_grid_order(self):
+        suite = ScenarioSuite(add_cell).axis("a", [1, 2, 3]).axis("b", [10, 20])
+        batch = suite.run(workers=2, backend="batch")
+        stream = suite.run(workers=2, backend="stream")
+        assert stream.ok
+        assert stream.values() == batch.values()
+        assert [c.index for c in stream.cells] == list(range(6))
+        assert [c.params for c in stream.cells] == [c.params for c in batch.cells]
+
+    def test_reassembly_is_deterministic_despite_completion_order(self):
+        # Cell 0 sleeps, so parallel completion order differs from grid
+        # order; the assembled result must not.
+        suite = ScenarioSuite(slow_when_small_cell).seeds([0, 1, 2, 3])
+        result = suite.run(workers=4, backend="stream")
+        assert result.ok
+        assert result.values() == [0, 1, 2, 3]
+        assert [c.index for c in result.cells] == [0, 1, 2, 3]
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        result = (
+            ScenarioSuite(add_cell)
+            .axis("a", [1, 2])
+            .axis("b", [5, 6])
+            .run(
+                workers=0,
+                backend="stream",
+                progress=lambda cell, done, total: seen.append(
+                    (cell.index, done, total)
+                ),
+            )
+        )
+        assert result.ok
+        assert [done for __, done, __ in seen] == [1, 2, 3, 4]
+        assert all(total == 4 for __, __, total in seen)
+        assert sorted(index for index, __, __ in seen) == [0, 1, 2, 3]
+
+    def test_progress_callback_fires_on_batch_backend_too(self):
+        seen = []
+        ScenarioSuite(add_cell).axis("a", [1, 2]).axis("b", [5]).run(
+            workers=2,
+            backend="batch",
+            progress=lambda cell, done, total: seen.append(done),
+        )
+        assert seen == [1, 2]
+
+    def test_serial_stream_accepts_closures_in_grid_order(self):
+        suite = ScenarioSuite(lambda *, seed: seed + 1).seeds([1, 2])
+        results = list(suite.stream(workers=0))
+        assert [cell.value for cell in results] == [2, 3]
+        assert [cell.index for cell in results] == [0, 1]
+
+    def test_cell_exceptions_still_captured_per_cell(self):
+        result = ScenarioSuite(failing_cell).seeds([1, 2]).run(
+            workers=2, backend="stream"
+        )
+        assert not result.ok
+        assert len(result.failures()) == 2
+        assert "boom" in result.failures()[0].error
+
+    def test_worker_crash_surfaces_instead_of_hanging(self):
+        with pytest.raises(SuiteExecutionError, match="worker process died"):
+            list(ScenarioSuite(dying_cell).seeds([0, 1]).stream(workers=2))
+
+    def test_worker_crash_surfaces_through_run(self):
+        with pytest.raises(SuiteExecutionError):
+            ScenarioSuite(dying_cell).seeds([0, 1]).run(
+                workers=2, backend="stream"
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite(add_cell).seeds([0]).run(backend="firehose")
+
+    def test_streaming_scenario_cells_match_serial(self):
+        suite = ScenarioSuite(etob_tau_cell).axis("tau", [0, 150]).seeds([0, 1])
+        serial = suite.run(workers=0)
+        stream = suite.run(workers=2, backend="stream")
+        assert stream.ok, stream.failures()
+        assert stream.values() == serial.values()
+
+    def test_suite_progress_renders_a_line_per_cell(self):
+        buffer = io.StringIO()
+        result = ScenarioSuite(add_cell).axis("a", [1]).axis("b", [5, 6]).run(
+            workers=0,
+            backend="stream",
+            progress=SuiteProgress(stream=buffer, label="demo"),
+        )
+        assert result.ok
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[1/2] demo: a=1, b=5 -> 6")
+        assert lines[1].startswith("[2/2]")
 
 
 class TestExperimentSweep:
