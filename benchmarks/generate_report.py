@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Regenerate EXPERIMENTS.md and BENCH_report.json from multi-seed sweeps.
+"""Regenerate EXPERIMENTS.md and BENCH_report.json from one campaign.
 
-Every registered experiment runs as a :func:`repro.analysis.experiments.sweep`
-across ``--seeds`` seeds (default 3) on the streaming suite backend, which
-prints a live progress line per completed cell. The per-seed rows are folded
-through each experiment's report spec (see
-:class:`repro.analysis.experiments.ReportSpec`) into one mean ± spread table
-per experiment — no number in EXPERIMENTS.md is hand-edited. Usage::
+All registered experiments × ``--seeds`` seeds (default 3) flatten into a
+single :class:`repro.analysis.experiments.Campaign` cell pool, ordered
+cost-descending so the expensive tails (EXP-7) overlap the cheap cells, and
+executed through exactly **one** streaming worker pool — a live progress
+line per completed cell, prefixed by its experiment key. The pooled results
+are demultiplexed per experiment and folded through each experiment's report
+spec (see :class:`repro.analysis.experiments.ReportSpec`) into one
+mean ± spread table — no number in EXPERIMENTS.md is hand-edited. Usage::
 
     python -m benchmarks.generate_report [output.md] [--seeds N] [--workers N]
                                          [--json BENCH_report.json]
@@ -37,8 +39,8 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 from repro.analysis.experiments import (  # noqa: E402
     ALL_EXPERIMENTS,
     EXPERIMENT_REGISTRY,
+    Campaign,
     aggregate_sweep,
-    sweep,
     sweep_rows,
 )
 from repro.suite import SuiteProgress  # noqa: E402
@@ -153,13 +155,16 @@ multi-seed sweep quoting mean ± spread; no number below is hand-edited.
 METHODOLOGY = """\
 ## Methodology
 
-- **Sweeps.** Every table is produced by `sweep(key, seeds=N)`
-  (`repro.analysis.experiments`): the experiment function runs once per
-  seed as one cell of a `ScenarioSuite` grid, across worker processes on
-  the streaming backend (`run(backend="stream")`, completion-order
-  consumption with deterministic reassembly by cell index). Cell parameters
-  are fixed before any worker starts, so results are independent of worker
-  count and completion order.
+- **One campaign, one pool.** Every experiment function runs once per seed
+  as one `Cell` of a single cross-experiment `Campaign`
+  (`repro.analysis.experiments`): all experiments × seeds flatten into one
+  global cell list, ordered cost-descending (per-experiment cost hints, so
+  the expensive EXP-7 tail overlaps the cheap cells) and executed through
+  exactly one streaming `ScenarioSuite` worker pool
+  (`run(backend="stream")`, completion-order consumption). Results are
+  demultiplexed per experiment by each cell's provenance tags and
+  reassembled in canonical grid order, so they are independent of worker
+  count, completion order, and pool ordering.
 - **Seeds.** {seeds} seeds per cell, derived from base seed 0 via
   `repro.suite.derive_seed` (a stable FNV-1a hash of `(base_seed, index)`)
   — never from `hash()` or global RNG state, so every rerun and every
@@ -171,12 +176,16 @@ METHODOLOGY = """\
 - **Aggregation.** Each experiment declares which row columns are scenario
   identity, measurements, verdicts, and discrete outcomes
   (`ReportSpec`); `aggregate_sweep` folds the per-seed rows through that
-  spec. `BENCH_report.json` holds the same aggregates plus every raw
-  per-seed row.
+  spec (two-axis sweeps can pivot an axis into columns). `BENCH_report.json`
+  holds the same aggregates plus every raw per-seed row.
 - **Reproduce.** `python -m benchmarks.generate_report` rewrites this file
   and `BENCH_report.json`; `--seeds`/`--spread` change the sweep width and
   dispersion metric; `--smoke` (1 seed) is the CI gate and fails on any
-  cell error. Wall times below are simulation-host time per sweep.
+  cell error. Per-experiment times below are summed cell times inside the
+  shared pool (the cells of different experiments interleave, so
+  per-experiment wall clock does not exist);
+  `benchmarks/bench_report_wallclock.py` measures the packed campaign
+  against the old sequential per-experiment sweeps.
 """
 
 
@@ -244,17 +253,22 @@ def main(argv: list[str] | None = None) -> int:
     }
     failures: list[str] = []
     total_started = time.perf_counter()
+    # The tentpole of the pipeline: one campaign flattens every experiment's
+    # cells into a single cost-ordered pool and runs them through exactly one
+    # worker pool; each progress line is prefixed by the cell's experiment.
+    campaign = Campaign(list(ALL_EXPERIMENTS), seeds=seeds, name="report")
+    outcome = campaign.run(
+        workers=args.workers, backend="stream", progress=SuiteProgress()
+    )
+    report["campaign"] = {
+        "cells": len(outcome.suite.cells),
+        "workers": outcome.workers,
+        "order": "cost",
+    }
     for key in ALL_EXPERIMENTS:
         definition = EXPERIMENT_REGISTRY[key]
-        started = time.perf_counter()
-        result = sweep(
-            key,
-            seeds=seeds,
-            workers=args.workers,
-            backend="stream",
-            progress=SuiteProgress(label=key),
-        )
-        elapsed = time.perf_counter() - started
+        result = outcome.experiment(key)
+        elapsed = result.wall_time  # summed cell time within the shared pool
         for failure in result.failures():
             failures.append(f"{key} {failure.params!r}: {failure.error}")
         if definition.report is not None:
@@ -280,7 +294,9 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(table_text)
         sections.append("```")
         sections.append(f"\n{COMMENTARY.get(key, '')}")
-        sections.append(f"\n*(swept in {elapsed:.1f} s of simulation-host time)*")
+        sections.append(
+            f"\n*(cells cost {elapsed:.1f} s inside the shared campaign pool)*"
+        )
         report["experiments"][key] = {
             "title": definition.title,
             "claim": CLAIMS.get(key, definition.title),
@@ -294,10 +310,13 @@ def main(argv: list[str] | None = None) -> int:
             },
             "aggregated": aggregated,
             "rows": sweep_rows(result),
-            "wall_time_s": round(elapsed, 3),
+            "cell_time_s": round(elapsed, 3),
             "cells_failed": len(result.failures()),
         }
-        print(f"{key}: swept {seeds} seed(s) in {elapsed:.1f}s", file=sys.stderr)
+        print(
+            f"{key}: {seeds} seed(s), {elapsed:.1f}s of cell time",
+            file=sys.stderr,
+        )
 
     report["wall_time_s"] = round(time.perf_counter() - total_started, 3)
     report["ok"] = not failures

@@ -15,12 +15,13 @@ that register themselves with the registry in
 
 Each ``exp_*`` function runs the simulations for one experiment of
 EXPERIMENTS.md and returns an :class:`ExperimentResult` holding structured
-rows and a rendered table; all take a ``seed`` keyword, so :func:`sweep`
-can fan any of them out across seeds on the
-:class:`~repro.suite.ScenarioSuite` multiprocessing runner. The benchmark
-harness (``benchmarks/``) calls the functions under ``pytest-benchmark``;
-``EXPERIMENTS.md`` quotes their tables. The functions are deterministic for
-fixed seeds.
+rows and a rendered table; all take a ``seed`` keyword, so every
+:class:`ExperimentDef` expands into picklable, provenance-tagged cells
+(``cells(seeds)``) that a :class:`Campaign` pools across *all* experiments
+onto one shared worker pool (:func:`sweep` is the single-experiment shim).
+The benchmark harness (``benchmarks/``) calls the functions under
+``pytest-benchmark``; ``EXPERIMENTS.md`` quotes their tables. The functions
+are deterministic for fixed seeds.
 """
 
 from __future__ import annotations
@@ -36,6 +37,8 @@ from repro.analysis.experiments.base import (
     sweep,
     sweep_rows,
 )
+from repro.analysis.experiments.campaign import Campaign, CampaignResult
+from repro.suite import Axis, Cell
 
 # Importing the experiment modules populates EXPERIMENT_REGISTRY.
 from repro.analysis.experiments.latency import (
@@ -78,6 +81,10 @@ ALL_EXPERIMENTS = {
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "Axis",
+    "Campaign",
+    "CampaignResult",
+    "Cell",
     "EXPERIMENT_REGISTRY",
     "ExperimentDef",
     "ExperimentResult",

@@ -6,10 +6,13 @@ modules register their functions with the :func:`experiment` decorator; the
 package ``__init__`` imports every module, so importing
 ``repro.analysis.experiments`` yields the complete registry.
 
-Because each experiment takes a ``seed`` keyword, any experiment can be run
-as a multi-seed sweep over the :class:`~repro.suite.ScenarioSuite` runner —
-see :func:`sweep` — and executed across worker processes with no per-
-experiment code.
+Because each experiment takes a ``seed`` keyword, any experiment expands
+into :class:`~repro.suite.Cell` objects — see :meth:`ExperimentDef.cells` —
+each a picklable unit (runner + resolved params + provenance tags) that can
+execute on any :class:`~repro.suite.ScenarioSuite` worker pool. A
+:class:`~repro.analysis.experiments.campaign.Campaign` pools the cells of
+*many* experiments into one shared, cost-ordered pool; :func:`sweep` is the
+single-experiment shim over it.
 
 Experiments additionally declare a *report spec* — which row columns
 identify a scenario (``group_by``), which are numeric measurements
@@ -23,6 +26,7 @@ these hooks; no experiment ships custom aggregation code.
 from __future__ import annotations
 
 import functools
+import itertools
 from dataclasses import dataclass, field
 from statistics import mean, quantiles, stdev
 from typing import Any, Callable, Sequence
@@ -33,7 +37,8 @@ from repro.core import EcUsingOmegaLayer, EtobLayer
 from repro.core.transformations import EcToEtobLayer
 from repro.detectors import CompositeDetector, OmegaDetector, SigmaDetector
 from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
-from repro.suite import ScenarioSuite, SuiteResult
+from repro.sim.errors import ConfigurationError
+from repro.suite import Axis, Cell, SuiteResult, derive_seed
 
 
 @dataclass
@@ -71,12 +76,90 @@ class ReportSpec:
 
 @dataclass(frozen=True)
 class ExperimentDef:
-    """One registered experiment: key, runner, title, and its report spec."""
+    """One registered experiment: key, runner, title, report spec, and its
+    campaign face — a cost hint plus the declared extra sweep axes.
+
+    ``cost`` is a *relative* wall-time hint (roughly seconds per seed on the
+    reference machine): a campaign sorts its pooled cells cost-descending so
+    the long tails (EXP-7) start first and overlap the cheap cells. ``axes``
+    declares the extra :class:`~repro.suite.Axis` dimensions the experiment
+    supports sweeping beyond ``seed`` (each axis name must be a keyword of
+    ``fn``, with the declared values as the recommended sweep).
+    """
 
     key: str
     fn: Callable[..., ExperimentResult]
     title: str
     report: ReportSpec | None = None
+    cost: float = 1.0
+    axes: tuple[Axis, ...] = ()
+
+    def declared_axis(self, name: str) -> Axis:
+        """The declared extra axis called ``name``."""
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise ConfigurationError(
+            f"experiment {self.key!r} declares no axis {name!r}; "
+            f"declared: {[axis.name for axis in self.axes]}"
+        )
+
+    def cells(
+        self,
+        seeds: int | Sequence[int],
+        *,
+        base_seed: int = 0,
+        axes: dict[str, Sequence[Any]] | None = None,
+    ) -> list[Cell]:
+        """Expand this experiment into picklable campaign cells.
+
+        One cell per point of ``seed × extra axes`` (seed-major, axes in
+        declaration order), each invoking the experiment function with that
+        seed (plus one value per extra axis) and returning its
+        :class:`ExperimentResult`. An integer ``seeds`` asks for that many
+        deterministic seeds via :func:`~repro.suite.derive_seed`. Every cell
+        is tagged with its provenance — ``experiment`` (this key), ``seed``,
+        ``axes`` (the extra-axis values), and ``cell`` (the canonical index
+        within this experiment's expansion) — so pooled results can be
+        demultiplexed and reassembled deterministically regardless of
+        execution order.
+        """
+        if isinstance(seeds, int):
+            if seeds < 1:
+                raise ConfigurationError("need at least one seed")
+            seed_values: Sequence[int] = [
+                derive_seed(base_seed, i) for i in range(seeds)
+            ]
+        else:
+            seed_values = list(seeds)
+            if not seed_values:
+                raise ConfigurationError("need at least one seed")
+        extra: list[Axis] = []
+        for name, values in (axes or {}).items():
+            if name == "seed":
+                raise ConfigurationError(
+                    "'seed' is the implicit first axis; pass seeds=... instead"
+                )
+            extra.append(Axis(name, tuple(values)))
+        names = ["seed"] + [axis.name for axis in extra]
+        runner = functools.partial(_sweep_cell, self.key)
+        cells: list[Cell] = []
+        for combo in itertools.product(seed_values, *(a.values for a in extra)):
+            params = dict(zip(names, combo))
+            cells.append(
+                Cell(
+                    runner=runner,
+                    params=params,
+                    tags={
+                        "experiment": self.key,
+                        "seed": params["seed"],
+                        "axes": {n: params[n] for n in names[1:]},
+                        "cell": len(cells),
+                    },
+                    cost=self.cost,
+                )
+            )
+        return cells
 
 
 #: key (e.g. ``"EXP-4"``) → definition; populated by the module decorators.
@@ -91,12 +174,16 @@ def experiment(
     metrics: Sequence[str] = (),
     flags: Sequence[str] = (),
     values: Sequence[str] = (),
+    cost: float = 1.0,
+    axes: Sequence[Axis] = (),
 ) -> Callable:
     """Class the decorated function as experiment ``key`` in the registry.
 
     The keyword arguments declare the sweep-native report spec (see
     :class:`ReportSpec`); experiments without ``group_by`` cannot be
-    aggregated by :func:`aggregate_sweep`.
+    aggregated by :func:`aggregate_sweep`. ``cost`` is the relative
+    per-seed wall-time hint a campaign uses to order its shared cell pool;
+    ``axes`` declares extra sweep dimensions (see :class:`ExperimentDef`).
     """
 
     def decorate(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
@@ -112,7 +199,9 @@ def experiment(
             if group_by
             else None
         )
-        EXPERIMENT_REGISTRY[key] = ExperimentDef(key, fn, summary, report)
+        EXPERIMENT_REGISTRY[key] = ExperimentDef(
+            key, fn, summary, report, cost=cost, axes=tuple(axes)
+        )
         return fn
 
     return decorate
@@ -154,19 +243,30 @@ def sweep(
 ) -> SuiteResult:
     """Run experiment ``key`` across seeds (and optional extra axes).
 
-    Each suite cell invokes the experiment with one ``seed`` (plus one value
-    per extra axis) and yields its :class:`ExperimentResult`; cells run across
+    .. deprecated::
+        ``sweep`` is now a thin shim over a single-experiment
+        :class:`~repro.analysis.experiments.campaign.Campaign`; prefer a
+        campaign directly when sweeping more than one experiment — it packs
+        every cell into *one* worker pool instead of one pool per
+        experiment. The return shape (a :class:`~repro.suite.SuiteResult`
+        with one cell per ``seed × axes`` point, in seed-major grid order)
+        is unchanged, so existing callers keep working.
+
+    Each cell invokes the experiment with one ``seed`` (plus one value per
+    extra axis) and yields its :class:`ExperimentResult`; cells run across
     ``workers`` processes. ``backend``/``progress`` pass through to
     :meth:`~repro.suite.ScenarioSuite.run` (``backend="stream"`` feeds a
     live progress table). Use :func:`sweep_rows` to flatten the per-seed
     result tables into one row list, or :func:`aggregate_sweep` for the
     mean ± spread report table.
     """
-    suite = ScenarioSuite(functools.partial(_sweep_cell, key), name=f"{key}-sweep")
-    suite.seeds(seeds)
-    for name, values in axes.items():
-        suite.axis(name, list(values))
-    return suite.run(workers=workers, backend=backend, progress=progress)
+    from repro.analysis.experiments.campaign import Campaign
+
+    campaign = Campaign([key], seeds=seeds)
+    if axes:
+        campaign.extend(key, **axes)
+    outcome = campaign.run(workers=workers, backend=backend, progress=progress)
+    return outcome.experiment(key)
 
 
 def sweep_rows(result: SuiteResult) -> list[dict]:
@@ -192,8 +292,58 @@ def _spread(values: Sequence[float], metric: str) -> float:
     raise ValueError(f"unknown spread metric {metric!r}; use 'stdev' or 'iqr'")
 
 
+def _fold_group(
+    spec: ReportSpec, group: list[dict], spread: str
+) -> tuple[list[Any], dict[str, Any]]:
+    """Aggregate one group of rows: display cells + machine-readable fields.
+
+    The display cells cover, in order, every ``metrics`` column
+    (``mean ± spread``), every ``values`` column (distinct outcomes), and
+    every ``flags`` column (``true/total``); the dict holds the same
+    aggregates for the JSON report.
+    """
+    cells: list[Any] = []
+    agg_row: dict[str, Any] = {}
+    for metric in spec.metrics:
+        numbers = [
+            row[metric]
+            for row in group
+            if isinstance(row.get(metric), (int, float))
+            and not isinstance(row.get(metric), bool)
+        ]
+        if not numbers:
+            cells.append("-")
+            agg_row[metric] = None
+            continue
+        mu = mean(numbers)
+        sigma = _spread(numbers, spread)
+        cells.append(f"{mu:.2f} ± {sigma:.2f}")
+        agg_row[metric] = {
+            "mean": mu,
+            "spread": sigma,
+            "min": min(numbers),
+            "max": max(numbers),
+            "count": len(numbers),
+        }
+    for column in spec.values:
+        distinct = sorted({repr(row.get(column)) for row in group})
+        # ", " — never " | ", which Table.render uses as the column
+        # separator and would make multi-outcome cells read as columns.
+        cells.append(", ".join(distinct))
+        agg_row[column] = distinct
+    for flag in spec.flags:
+        verdicts = [bool(row[flag]) for row in group if flag in row]
+        cells.append(f"{sum(verdicts)}/{len(verdicts)}")
+        agg_row[flag] = {"true": sum(verdicts), "total": len(verdicts)}
+    return cells, agg_row
+
+
 def aggregate_sweep(
-    key: str, result: SuiteResult, *, spread: str = "stdev"
+    key: str,
+    result: SuiteResult,
+    *,
+    spread: str = "stdev",
+    pivot: str | None = None,
 ) -> tuple[Table, list[dict]]:
     """Fold a :func:`sweep` outcome into one mean ± spread table.
 
@@ -205,6 +355,16 @@ def aggregate_sweep(
     Returns the rendered :class:`~repro.analysis.tables.Table` plus
     machine-readable aggregate rows (mean/spread/min/max per metric,
     true/total per flag) for the JSON report.
+
+    ``pivot`` renders a two-axis sweep the readable way: the named column —
+    typically an extra sweep axis, e.g. ``n`` after
+    ``sweep("EXP-4", n=[4, 5])`` — becomes *columns* instead of extra rows.
+    Each table row keeps the remaining ``group_by`` identity; every
+    aggregate column is repeated once per pivot value (``tau [n=4] |
+    tau [n=5] | …``), with ``-`` where a combination produced no rows. The
+    machine-readable aggregates stay unpivoted — one dict per
+    ``group × pivot value``, each carrying its pivot column — so JSON
+    consumers never have to parse header labels.
     """
     definition = EXPERIMENT_REGISTRY[key]
     spec = definition.report
@@ -212,60 +372,69 @@ def aggregate_sweep(
         raise ValueError(f"experiment {key!r} declares no report spec")
     rows = sweep_rows(result)
     seeds = sorted({row["seed"] for row in rows if "seed" in row})
-
-    groups: dict[tuple, list[dict]] = {}
-    for row in rows:
-        groups.setdefault(tuple(row.get(c) for c in spec.group_by), []).append(row)
-
     spread_tag = "sd" if spread == "stdev" else spread
-    headers = (
-        list(spec.group_by)
-        + [f"{m} (mean ± {spread_tag})" for m in spec.metrics]
+    spread_name = "sample stdev" if spread == "stdev" else "IQR"
+    title = f"{key}: {definition.title} — {len(seeds)} seeds, spread = {spread_name}"
+
+    if pivot is None:
+        groups: dict[tuple, list[dict]] = {}
+        for row in rows:
+            groups.setdefault(
+                tuple(row.get(c) for c in spec.group_by), []
+            ).append(row)
+        headers = (
+            list(spec.group_by)
+            + [f"{m} (mean ± {spread_tag})" for m in spec.metrics]
+            + list(spec.values)
+            + [f"{f} (seeds)" for f in spec.flags]
+        )
+        table = Table(title, headers)
+        aggregated: list[dict] = []
+        for group_key, group in groups.items():
+            cells, agg_fields = _fold_group(spec, group, spread)
+            table.add_row(*group_key, *cells)
+            aggregated.append({**dict(zip(spec.group_by, group_key)), **agg_fields})
+        return table, aggregated
+
+    # Pivoted rendering: `pivot` leaves the row identity and becomes columns.
+    if rows and not any(pivot in row for row in rows):
+        raise ValueError(
+            f"pivot column {pivot!r} appears in no row of the {key!r} sweep; "
+            "pivot on a group_by column or a swept axis"
+        )
+    group_cols = [c for c in spec.group_by if c != pivot]
+    pivot_values: list[Any] = []
+    pivoted: dict[tuple, dict[Any, list[dict]]] = {}
+    for row in rows:
+        value = row.get(pivot)
+        if value not in pivot_values:
+            pivot_values.append(value)
+        group_key = tuple(row.get(c) for c in group_cols)
+        pivoted.setdefault(group_key, {}).setdefault(value, []).append(row)
+
+    per_value_headers = (
+        [f"{m} (mean ± {spread_tag})" for m in spec.metrics]
         + list(spec.values)
         + [f"{f} (seeds)" for f in spec.flags]
     )
-    table = Table(
-        f"{key}: {definition.title} — {len(seeds)} seeds, "
-        f"spread = {'sample stdev' if spread == 'stdev' else 'IQR'}",
-        headers,
-    )
-    aggregated: list[dict] = []
-    for group_key, group in groups.items():
-        cells: list[Any] = list(group_key)
-        agg_row: dict[str, Any] = dict(zip(spec.group_by, group_key))
-        for metric in spec.metrics:
-            numbers = [
-                row[metric]
-                for row in group
-                if isinstance(row.get(metric), (int, float))
-                and not isinstance(row.get(metric), bool)
-            ]
-            if not numbers:
-                cells.append("-")
-                agg_row[metric] = None
+    headers = list(group_cols) + [
+        f"{h} [{pivot}={v}]" for v in pivot_values for h in per_value_headers
+    ]
+    table = Table(f"{title}, pivoted on {pivot}", headers)
+    aggregated = []
+    for group_key, by_value in pivoted.items():
+        cells = list(group_key)
+        for value in pivot_values:
+            group = by_value.get(value)
+            if group is None:
+                cells.extend("-" for __ in per_value_headers)
                 continue
-            mu = mean(numbers)
-            sigma = _spread(numbers, spread)
-            cells.append(f"{mu:.2f} ± {sigma:.2f}")
-            agg_row[metric] = {
-                "mean": mu,
-                "spread": sigma,
-                "min": min(numbers),
-                "max": max(numbers),
-                "count": len(numbers),
-            }
-        for column in spec.values:
-            distinct = sorted({repr(row.get(column)) for row in group})
-            # ", " — never " | ", which Table.render uses as the column
-            # separator and would make multi-outcome cells read as columns.
-            cells.append(", ".join(distinct))
-            agg_row[column] = distinct
-        for flag in spec.flags:
-            verdicts = [bool(row[flag]) for row in group if flag in row]
-            cells.append(f"{sum(verdicts)}/{len(verdicts)}")
-            agg_row[flag] = {"true": sum(verdicts), "total": len(verdicts)}
+            folded, agg_fields = _fold_group(spec, group, spread)
+            cells.extend(folded)
+            aggregated.append(
+                {**dict(zip(group_cols, group_key)), pivot: value, **agg_fields}
+            )
         table.add_row(*cells)
-        aggregated.append(agg_row)
     return table, aggregated
 
 

@@ -23,6 +23,7 @@ from repro.sim import FailurePattern, ProtocolStack, Simulation, UniformRandomDe
     group_by=("variant",),
     metrics=("violations", "pairs"),
     flags=("etob_ok",),
+    cost=0.1,
 )
 def exp_causal(*, seed: int = 0) -> ExperimentResult:
     """EXP-6: TOB-Causal-Order under churn; ablation without the causal graph."""
@@ -78,6 +79,7 @@ def exp_causal(*, seed: int = 0) -> ExperimentResult:
     group_by=("tau_omega",),
     metrics=("windows", "total_divergence"),
     flags=("ok",),
+    cost=0.3,
 )
 def exp_ablation_churn(
     taus: Sequence[int] = (0, 150, 300, 600), *, seed: int = 0

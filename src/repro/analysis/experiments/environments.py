@@ -21,6 +21,7 @@ from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
     group_by=("environment", "tau_omega"),
     metrics=("k", "k_time"),
     flags=("ok",),
+    cost=0.1,
 )
 def exp_ec_any_environment(*, seed: int = 0) -> ExperimentResult:
     """EXP-3: Algorithm 4 across environments and stabilization times."""
@@ -80,6 +81,7 @@ def exp_ec_any_environment(*, seed: int = 0) -> ExperimentResult:
     metrics=("delivered",),
     flags=("as_expected",),
     values=("available",),
+    cost=0.1,
 )
 def exp_partition_gap(*, seed: int = 0) -> ExperimentResult:
     """EXP-8: crash a majority; only Omega-only ETOB and Omega+Sigma

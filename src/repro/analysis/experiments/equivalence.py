@@ -10,6 +10,7 @@ from repro.analysis.experiments.base import (
 )
 from repro.analysis.metrics import message_counts
 from repro.analysis.tables import Table
+from repro.suite import Axis
 from repro.core import EcDriverLayer, EcUsingOmegaLayer, EtobLayer
 from repro.core.transformations import EtobToEcLayer
 from repro.properties import check_ec, check_etob
@@ -22,6 +23,8 @@ from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
     group_by=("stack",),
     metrics=("tau", "k", "sent"),
     flags=("ok",),
+    cost=0.55,
+    axes=(Axis("n", (3, 4, 5)),),
 )
 def exp_equivalence(*, n: int = 4, seed: int = 0) -> ExperimentResult:
     """EXP-2: the transformation stacks satisfy the target specifications."""

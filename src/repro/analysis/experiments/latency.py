@@ -20,6 +20,7 @@ from repro.analysis.tables import Table
     metrics=("mean_steps", "max_steps", "undelivered"),
     values=("paper_steps",),
     flags=("steps_ok",),
+    cost=1.3,
 )
 def exp_comm_steps(
     ns: Sequence[int] = (3, 5, 7),
@@ -108,6 +109,7 @@ def exp_comm_steps(
     group_by=("period",),
     metrics=("mean_ticks", "sent"),
     flags=("delivered_ok",),
+    cost=0.1,
 )
 def exp_ablation_promote_period(
     periods: Sequence[int] = (2, 4, 8, 16), *, seed: int = 0

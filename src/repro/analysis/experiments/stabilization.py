@@ -11,6 +11,7 @@ from repro.analysis.experiments.base import (
 )
 from repro.analysis.tables import Table
 from repro.properties import check_etob, check_tob
+from repro.suite import Axis
 
 
 @experiment(
@@ -19,12 +20,17 @@ from repro.properties import check_etob, check_tob
     group_by=("tau_omega",),
     metrics=("tau", "bound"),
     flags=("within_bound", "ok"),
+    cost=0.1,
+    # The declared two-axis sweep: `Campaign.extend("EXP-4", "n")` (or
+    # `sweep("EXP-4", n=[...])`) multiplies the tau grid by system size;
+    # `aggregate_sweep(..., pivot="n")` renders n as columns.
+    axes=(Axis("n", (4, 5)),),
 )
 def exp_etob_stabilization(
-    taus: Sequence[int] = (0, 100, 200, 400), *, seed: int = 0
+    taus: Sequence[int] = (0, 100, 200, 400), *, n: int = 4, seed: int = 0
 ) -> ExperimentResult:
     """EXP-4: measured ETOB tau vs the proof's bound tau_Omega + Dt + Dc."""
-    n, delay, timeout = 4, 3, 4
+    delay, timeout = 3, 4
     table = Table(
         "EXP-4: ETOB stabilization vs paper bound (tau_Omega + Dt + Dc)",
         ["tau_Omega", "measured tau", "bound", "within bound", "verdict"],
@@ -68,6 +74,7 @@ def exp_etob_stabilization(
     group_by=("scenario",),
     metrics=("tau",),
     flags=("ok",),
+    cost=0.07,
 )
 def exp_tob_mode(*, seed: int = 0) -> ExperimentResult:
     """EXP-5: Algorithm 5 satisfies *strong* TOB when Omega never changes."""

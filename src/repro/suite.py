@@ -42,7 +42,17 @@ backend also surfaces hard worker deaths (a cell calling ``os._exit``, a
 segfault, an OOM kill) as :class:`SuiteExecutionError` rather than hanging.
 ``run(backend="batch")`` executes over a ``multiprocessing.Pool`` with
 ``chunksize`` — useful for grids of many trivial cells — but cannot detect
-a dying worker; both backends capture ordinary cell exceptions per cell.
+a dying worker; both backends capture ordinary cell exceptions per cell,
+and both invoke ``progress`` after every completed cell.
+
+Cell pools: besides expanding its own grid, a suite can execute an explicit
+list of pre-built :class:`Cell` objects — each carrying its *own* runner,
+resolved parameters, and provenance tags — via
+:meth:`ScenarioSuite.from_cells`. That is how a
+:class:`~repro.analysis.experiments.Campaign` packs the cells of *many*
+experiments into one shared worker pool; the tags (``experiment`` / ``seed``
+/ ``axes``) travel through :class:`CellResult` so the pooled results can be
+demultiplexed afterwards.
 """
 
 from __future__ import annotations
@@ -68,11 +78,61 @@ class SuiteExecutionError(RuntimeError):
 
 
 @dataclass(frozen=True)
+class Axis:
+    """A named sweep dimension: an axis name plus the values it takes.
+
+    The declarative unit shared by :meth:`ScenarioSuite.axis`, experiment
+    definitions (:class:`~repro.analysis.experiments.ExperimentDef` declares
+    the extra axes an experiment can sweep), and
+    :class:`~repro.analysis.experiments.Campaign`. Values are stored as a
+    tuple so an ``Axis`` is immutable and safely shareable.
+    """
+
+    name: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name.isidentifier():
+            raise ConfigurationError(
+                f"axis name must be a valid identifier, got {self.name!r}"
+            )
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ConfigurationError(
+                f"axis {self.name!r} needs at least one value"
+            )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
 class SuiteCell:
     """One point of the parameter grid."""
 
     index: int
     params: dict[str, Any]
+
+
+@dataclass
+class Cell:
+    """One picklable unit of pooled work: runner + params + provenance.
+
+    Unlike :class:`SuiteCell` (a point of *one* suite's grid, executed by the
+    suite's shared runner), a ``Cell`` carries its own ``runner``, so cells
+    of many different experiments can share one worker pool. ``tags`` is
+    free-form provenance (a campaign sets ``experiment`` / ``seed`` /
+    ``axes`` / ``cell``) used to demultiplex pooled results; ``cost`` is a
+    relative wall-time hint used to order the pool most-expensive-first so
+    long tails overlap cheap cells. ``index`` is assigned when the cell
+    joins a pool (:meth:`ScenarioSuite.from_cells`).
+    """
+
+    runner: Callable[..., Any]
+    params: dict[str, Any]
+    tags: dict[str, Any] = field(default_factory=dict)
+    cost: float = 1.0
+    index: int = -1
 
 
 @dataclass
@@ -84,6 +144,7 @@ class CellResult:
     value: Any = None
     error: str | None = None
     wall_time: float = 0.0
+    tags: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -151,26 +212,27 @@ def derive_seed(base_seed: int, index: int) -> int:
     return stable_hash("suite-cell-seed", base_seed, index) % (1 << 31)
 
 
-def _execute_cell(task: tuple[Callable[..., Any], SuiteCell]) -> CellResult:
+def _execute_cell(task: tuple[Callable[..., Any], SuiteCell | Cell]) -> CellResult:
     """Run one cell; capture exceptions instead of propagating them."""
     runner, cell = task
+    tags = getattr(cell, "tags", None) or {}
     start = time.perf_counter()
     try:
         value = runner(**cell.params)
         return CellResult(
             cell.index, cell.params, value=value,
-            wall_time=time.perf_counter() - start,
+            wall_time=time.perf_counter() - start, tags=tags,
         )
     except Exception as exc:  # noqa: BLE001 - cell isolation is the point
         return CellResult(
             cell.index, cell.params,
             error=f"{type(exc).__name__}: {exc}",
-            wall_time=time.perf_counter() - start,
+            wall_time=time.perf_counter() - start, tags=tags,
         )
 
 
 class ScenarioSuite:
-    """A named parameter grid over a cell runner."""
+    """A named parameter grid over a cell runner (or an explicit cell pool)."""
 
     def __init__(
         self,
@@ -181,19 +243,81 @@ class ScenarioSuite:
     ) -> None:
         if not callable(runner):
             raise ConfigurationError(f"suite runner must be callable, got {runner!r}")
-        self.runner = runner
+        self.runner: Callable[..., Any] | None = runner
         self.name = name or getattr(runner, "__name__", None) or "suite"
         self.base_seed = base_seed
-        self._axes: dict[str, list[Any]] = {}
+        self._axes: dict[str, Axis] = {}
+        self._explicit_cells: list[Cell] | None = None
+
+    @classmethod
+    def from_cells(
+        cls, cells: Iterable[Cell], *, name: str = "cell-pool"
+    ) -> "ScenarioSuite":
+        """A suite over an explicit, possibly heterogeneous list of cells.
+
+        Each :class:`Cell` carries its own runner, so one suite — one worker
+        pool — can execute the cells of many different experiments (the
+        :class:`~repro.analysis.experiments.Campaign` path). Pool indices
+        are assigned here, in the order given; the caller owns any
+        cost-descending ordering *before* this call. The suite's grid
+        methods (:meth:`axis` / :meth:`seeds`) do not apply.
+        """
+        cells = list(cells)
+        if not cells:
+            raise ConfigurationError("from_cells needs at least one cell")
+        for cell in cells:
+            if not isinstance(cell, Cell):
+                raise ConfigurationError(
+                    f"from_cells expects Cell objects, got {cell!r}"
+                )
+            if not callable(cell.runner):
+                raise ConfigurationError(
+                    f"cell runner must be callable, got {cell.runner!r}"
+                )
+        suite = cls.__new__(cls)
+        suite.runner = None
+        suite.name = name
+        suite.base_seed = 0
+        suite._axes = {}
+        suite._explicit_cells = [
+            Cell(
+                runner=cell.runner,
+                params=dict(cell.params),
+                tags=dict(cell.tags),
+                cost=cell.cost,
+                index=index,
+            )
+            for index, cell in enumerate(cells)
+        ]
+        return suite
 
     # -- grid definition -----------------------------------------------------
 
-    def axis(self, name: str, values: Iterable[Any]) -> "ScenarioSuite":
-        """Add (or replace) one grid axis; ``values`` must be non-empty."""
-        values = list(values)
-        if not values:
-            raise ConfigurationError(f"axis {name!r} needs at least one value")
-        self._axes[name] = values
+    def axis(self, name: str | Axis, values: Iterable[Any] | None = None) -> "ScenarioSuite":
+        """Add one grid axis — ``axis(name, values)`` or ``axis(Axis(...))``.
+
+        A duplicate axis name raises :class:`ConfigurationError` — silently
+        replacing a previously declared axis would shrink or reshape the
+        grid behind the caller's back.
+        """
+        if self._explicit_cells is not None:
+            raise ConfigurationError(
+                "an explicit-cell suite (from_cells) has no grid axes"
+            )
+        if isinstance(name, Axis):
+            if values is not None:
+                raise ConfigurationError(
+                    "pass either axis(Axis(...)) or axis(name, values), not both"
+                )
+            axis = name
+        else:
+            axis = Axis(name, tuple(values if values is not None else ()))
+        if axis.name in self._axes:
+            raise ConfigurationError(
+                f"axis {axis.name!r} is already declared on suite "
+                f"{self.name!r}; axes must be unique"
+            )
+        self._axes[axis.name] = axis
         return self
 
     def axes(self, **axes: Iterable[Any]) -> "ScenarioSuite":
@@ -218,13 +342,15 @@ class ScenarioSuite:
             values = list(seeds)
         return self.axis("seed", values)
 
-    def cells(self) -> list[SuiteCell]:
-        """The grid cells, in deterministic cross-product order."""
+    def cells(self) -> list[SuiteCell] | list[Cell]:
+        """The cells to execute: the explicit pool, or the expanded grid."""
+        if self._explicit_cells is not None:
+            return list(self._explicit_cells)
         if not self._axes:
             raise ConfigurationError("the suite has no axes; add axis()/seeds() first")
         names = list(self._axes)
         product: Iterator[tuple[Any, ...]] = itertools.product(
-            *(self._axes[name] for name in names)
+            *(self._axes[name].values for name in names)
         )
         return [
             SuiteCell(index, dict(zip(names, combo)))
@@ -233,17 +359,28 @@ class ScenarioSuite:
 
     # -- execution -------------------------------------------------------------
 
-    def _require_picklable_runner(self) -> None:
+    def _runner_of(self, cell: SuiteCell | Cell) -> Callable[..., Any]:
+        runner = getattr(cell, "runner", None) or self.runner
+        assert runner is not None  # __init__/from_cells both enforce this
+        return runner
+
+    def _require_picklable_runners(self, cells: Sequence[SuiteCell | Cell]) -> None:
         import pickle
 
-        try:
-            pickle.dumps(self.runner)
-        except Exception as exc:
-            raise ConfigurationError(
-                f"suite runner {self.name!r} is not picklable ({exc}); "
-                "parallel execution needs a module-level callable — "
-                "use workers=0 to run closures serially"
-            ) from exc
+        checked: set[int] = set()
+        for cell in cells:
+            runner = self._runner_of(cell)
+            if id(runner) in checked:
+                continue
+            checked.add(id(runner))
+            try:
+                pickle.dumps(runner)
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"suite runner {self.name!r} is not picklable ({exc}); "
+                    "parallel execution needs a module-level callable — "
+                    "use workers=0 to run closures serially"
+                ) from exc
 
     def stream(self, *, workers: int | None = None) -> Iterator[CellResult]:
         """Yield each cell's result as it completes (completion order).
@@ -260,17 +397,17 @@ class ScenarioSuite:
             workers = min(os.cpu_count() or 1, len(cells))
         if workers <= 1:
             for cell in cells:
-                yield _execute_cell((self.runner, cell))
+                yield _execute_cell((self._runner_of(cell), cell))
             return
 
         from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
         from concurrent.futures.process import BrokenProcessPool
 
-        self._require_picklable_runner()
+        self._require_picklable_runners(cells)
         executor = ProcessPoolExecutor(max_workers=min(workers, len(cells)))
         try:
             futures = {
-                executor.submit(_execute_cell, (self.runner, cell)): cell
+                executor.submit(_execute_cell, (self._runner_of(cell), cell)): cell
                 for cell in cells
             }
             pending = set(futures)
@@ -341,8 +478,8 @@ class ScenarioSuite:
         else:
             import multiprocessing
 
-            self._require_picklable_runner()
-            tasks = [(self.runner, cell) for cell in cells]
+            self._require_picklable_runners(cells)
+            tasks = [(self._runner_of(cell), cell) for cell in cells]
             with multiprocessing.Pool(processes=effective_workers) as pool:
                 for result in pool.imap_unordered(
                     _execute_cell, tasks, chunksize=chunksize
@@ -368,7 +505,11 @@ class SuiteProgress:
 
     Lines go to ``stream`` (default: stderr, keeping stdout clean for piped
     report output) as cells complete, so long sweeps show where they are
-    instead of going dark until the end.
+    instead of going dark until the end. When a pooled cell carries an
+    ``experiment`` provenance tag (a :class:`Cell` from a campaign), that
+    tag prefixes the line — one pool carries cells from many experiments,
+    so a single static ``label`` could not identify them. The callback
+    fires on both the stream and the batch backend.
     """
 
     def __init__(
@@ -380,7 +521,8 @@ class SuiteProgress:
         self.value_width = value_width
 
     def __call__(self, result: CellResult, completed: int, total: int) -> None:
-        prefix = f"{self.label}: " if self.label else ""
+        label = result.tags.get("experiment", self.label) if result.tags else self.label
+        prefix = f"{label}: " if label else ""
         width = len(str(total))
         self.stream.write(
             f"[{completed:>{width}}/{total}] "

@@ -10,6 +10,8 @@ from repro.properties import check_etob
 from repro.scenario import Scenario
 from repro.sim.errors import ConfigurationError
 from repro.suite import (
+    Axis,
+    Cell,
     CellResult,
     ScenarioSuite,
     SuiteExecutionError,
@@ -79,6 +81,107 @@ class TestGrid:
         suite = ScenarioSuite(add_cell).axes(a=[1], b=[2, 3])
         assert len(suite.cells()) == 2
 
+    def test_duplicate_axis_name_rejected(self):
+        suite = ScenarioSuite(add_cell).axis("a", [1, 2])
+        with pytest.raises(ConfigurationError, match="already declared"):
+            suite.axis("a", [3])
+
+    def test_duplicate_axis_via_seeds_rejected(self):
+        suite = ScenarioSuite(add_cell).seeds([1, 2])
+        with pytest.raises(ConfigurationError, match="already declared"):
+            suite.seeds(3)
+
+    def test_axis_object_accepted(self):
+        suite = ScenarioSuite(add_cell).axis(Axis("a", (1, 2)))
+        assert [c.params["a"] for c in suite.cells()] == [1, 2]
+        with pytest.raises(ConfigurationError):
+            suite.axis(Axis("b", (1,)), [2])  # both forms at once
+
+
+class TestAxis:
+    def test_values_coerced_to_tuple(self):
+        axis = Axis("tau", [0, 100])
+        assert axis.values == (0, 100)
+        assert len(axis) == 2
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Axis("tau", ())
+
+    def test_non_identifier_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Axis("not a name", (1,))
+
+
+def tagged_double(*, x):
+    return 2 * x
+
+
+def tagged_triple(*, x):
+    return 3 * x
+
+
+class TestCellPool:
+    def pool(self):
+        return ScenarioSuite.from_cells(
+            [
+                Cell(tagged_double, {"x": 3}, tags={"experiment": "DBL", "cell": 0}),
+                Cell(tagged_triple, {"x": 3}, tags={"experiment": "TRP", "cell": 0}),
+                Cell(tagged_double, {"x": 5}, tags={"experiment": "DBL", "cell": 1}),
+            ],
+            name="pool",
+        )
+
+    def test_each_cell_runs_its_own_runner(self):
+        result = self.pool().run(workers=0)
+        assert result.ok
+        assert result.values() == [6, 9, 10]
+        assert [c.index for c in result.cells] == [0, 1, 2]
+
+    def test_tags_travel_through_results(self):
+        result = self.pool().run(workers=0)
+        assert [c.tags["experiment"] for c in result.cells] == ["DBL", "TRP", "DBL"]
+
+    def test_parallel_pool_matches_serial(self):
+        serial = self.pool().run(workers=0)
+        parallel = self.pool().run(workers=2, backend="stream")
+        assert parallel.values() == serial.values()
+        batch = self.pool().run(workers=2, backend="batch")
+        assert batch.values() == serial.values()
+
+    def test_pool_indices_assigned_in_given_order(self):
+        cells = self.pool().cells()
+        assert [c.index for c in cells] == [0, 1, 2]
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite.from_cells([])
+
+    def test_non_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite.from_cells([object()])
+
+    def test_grid_methods_rejected_on_pool(self):
+        with pytest.raises(ConfigurationError):
+            self.pool().axis("a", [1])
+
+    def test_progress_prefix_uses_experiment_tag(self):
+        buffer = io.StringIO()
+        result = self.pool().run(
+            workers=0, progress=SuiteProgress(stream=buffer, label="static")
+        )
+        assert result.ok
+        lines = buffer.getvalue().splitlines()
+        assert lines[0].startswith("[1/3] DBL: x=3 -> 6")
+        assert lines[1].startswith("[2/3] TRP: x=3 -> 9")
+
+    def test_progress_prefix_falls_back_to_label(self):
+        buffer = io.StringIO()
+        ScenarioSuite(add_cell).axis("a", [1]).axis("b", [5]).run(
+            workers=0, progress=SuiteProgress(stream=buffer, label="static")
+        )
+        assert buffer.getvalue().startswith("[1/1] static: a=1, b=5 -> 6")
+
 
 class TestSeeding:
     def test_derive_seed_is_stable(self):
@@ -87,14 +190,14 @@ class TestSeeding:
         assert derive_seed(0, 0) != derive_seed(1, 0)
 
     def test_seeds_count_expands_deterministically(self):
-        a = ScenarioSuite(add_cell, base_seed=5).seeds(3)._axes["seed"]
-        b = ScenarioSuite(add_cell, base_seed=5).seeds(3)._axes["seed"]
+        a = ScenarioSuite(add_cell, base_seed=5).seeds(3)._axes["seed"].values
+        b = ScenarioSuite(add_cell, base_seed=5).seeds(3)._axes["seed"].values
         assert a == b
         assert len(set(a)) == 3
 
     def test_explicit_seed_values_used_verbatim(self):
         suite = ScenarioSuite(add_cell).seeds([4, 8])
-        assert suite._axes["seed"] == [4, 8]
+        assert suite._axes["seed"].values == (4, 8)
 
     def test_zero_seeds_rejected(self):
         with pytest.raises(ConfigurationError):
