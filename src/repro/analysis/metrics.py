@@ -205,9 +205,11 @@ def run_metrics(sim: Simulation) -> RunMetrics:
             f"simulation recorded at {sim.record_level!r}"
         )
     # Reuse the live recorder's fold so the two paths cannot drift apart.
+    # Steps stream through as lazy views — nothing is re-materialized beyond
+    # the record currently being folded.
     metrics = RunMetrics(sim.n)
     recorder = MetricsRecorder(metrics)
-    for step in sim.run.steps:
+    for step in sim.run.iter_steps():
         recorder.on_step(sim, step)
     metrics.end_time = sim.run.end_time
     return metrics

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.sim.context import Context
+from repro.sim.context import Context, expand_sends
 from repro.sim.process import Process
 from repro.sim.types import ProcessId
 
@@ -161,7 +161,7 @@ class ReplaySandbox:
         new_buffers = [list(fifo) for fifo in state.buffers]
         if consumed is not None:
             new_buffers[pid] = new_buffers[pid][1:]
-        for receiver, payload in ctx.drain_outbox():
+        for receiver, payload in expand_sends(ctx.drain_outbox(), pid, self.n):
             new_buffers[receiver].append((pid, payload))
 
         new_decisions = list(state.decisions)

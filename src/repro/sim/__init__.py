@@ -35,13 +35,14 @@ from repro.sim.network import (
 from repro.sim.observers import (
     RECORD_LEVELS,
     FullRecorder,
+    LegacyFullRecorder,
     MetricsRecorder,
     OutputsRecorder,
     RunMetrics,
     SimObserver,
 )
 from repro.sim.process import Process
-from repro.sim.runs import RunRecord, StepRecord
+from repro.sim.runs import RunRecord, StepRecord, StepStore
 from repro.sim.scheduler import Simulation
 from repro.sim.stack import Layer, LayerContext, ProtocolStack
 
@@ -54,6 +55,7 @@ __all__ = [
     "FullRecorder",
     "GstDelay",
     "Layer",
+    "LegacyFullRecorder",
     "LayerContext",
     "MetricsRecorder",
     "Network",
@@ -69,5 +71,6 @@ __all__ = [
     "Simulation",
     "SimulationError",
     "StepRecord",
+    "StepStore",
     "UniformRandomDelay",
 ]

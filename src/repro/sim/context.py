@@ -15,6 +15,13 @@ from typing import Any
 
 from repro.sim.types import ProcessId, Time, validate_process_id
 
+#: Outbox sentinels for batched broadcasts: the scheduler expands an entry
+#: ``(BROADCAST_ALL, payload)`` / ``(BROADCAST_OTHERS, payload)`` through
+#: ``Network.send_all`` in one pass instead of ``n`` point-to-point sends.
+#: Negative so they can never collide with a validated process id.
+BROADCAST_ALL: ProcessId = -1
+BROADCAST_OTHERS: ProcessId = -2
+
 
 @dataclass
 class Context:
@@ -40,11 +47,13 @@ class Context:
 
         The paper's ``Send(message)`` "sends message to all processes
         (including p_i)" (Algorithm 1); we default to including the sender.
+        Buffered as a single sentinel entry; the scheduler expands it through
+        the network's batched ``send_all`` (receivers in ascending order,
+        exactly as ``n`` individual sends would have gone out).
         """
-        for receiver in range(self.n):
-            if receiver == self.pid and not include_self:
-                continue
-            self._outbox.append((receiver, payload))
+        self._outbox.append(
+            (BROADCAST_ALL if include_self else BROADCAST_OTHERS, payload)
+        )
 
     def output(self, value: Any) -> None:
         """Record a value in the output history ``H_O`` (visible to the app)."""
@@ -76,7 +85,12 @@ class Context:
     # -- scheduler-side accessors -------------------------------------------
 
     def drain_outbox(self) -> list[tuple[ProcessId, Any]]:
-        """Remove and return buffered sends (scheduler use)."""
+        """Remove and return buffered sends (scheduler use).
+
+        Broadcasts appear as single sentinel entries (``BROADCAST_ALL`` /
+        ``BROADCAST_OTHERS`` receivers); consumers that need one entry per
+        receiver should run the result through :func:`expand_sends`.
+        """
         outbox, self._outbox = self._outbox, []
         return outbox
 
@@ -89,6 +103,26 @@ class Context:
         """Remove and return buffered diagnostic events (scheduler use)."""
         log, self._log = self._log, []
         return log
+
+
+def expand_sends(
+    outbox: list[tuple[ProcessId, Any]], sender: ProcessId, n: int
+):
+    """Expand broadcast sentinels into per-receiver ``(receiver, payload)``.
+
+    Receivers come out in ascending order with the payload shared — the same
+    envelopes, in the same order, the scheduler's batched
+    ``Network.send_all`` path produces.
+    """
+    for receiver, payload in outbox:
+        if receiver >= 0:
+            yield receiver, payload
+        else:
+            include_self = receiver == BROADCAST_ALL
+            for target in range(n):
+                if target == sender and not include_self:
+                    continue
+                yield target, payload
 
 
 def _extract(fd_value: Any, name: str) -> Any:

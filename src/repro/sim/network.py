@@ -23,7 +23,7 @@ from typing import Any, Iterable, Protocol, Sequence
 from repro.sim.types import NEVER, ProcessId, Time
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Envelope:
     """A message in transit, ordered by delivery time then send order."""
 
@@ -170,6 +170,16 @@ class Network:
     per receiver; ties never occur because ``seq`` is globally unique. The
     network never drops messages; messages addressed to crashed processes are
     simply never consumed.
+
+    Besides the per-receiver heaps, the network maintains an *incremental
+    next-delivery index*: ``_next_at[r]`` mirrors the head delivery time of
+    ``r``'s queue and a global lazy min-heap of ``(deliver_at, receiver)``
+    horizon entries is updated on send and pop — so "when does the next
+    message arrive, and to whom?" never rescans the queues. Entries become
+    stale rather than being removed; :meth:`horizon_peek` discards entries
+    whose time no longer matches the index. Per-receiver pending and
+    live-deliverable counters make :meth:`in_transit`, :meth:`pending_for`
+    and the quiescence counter O(1) per receiver as well.
     """
 
     def __init__(self, n: int, delay_model: DelayModel | None = None) -> None:
@@ -183,10 +193,28 @@ class Network:
         self.delivered_count = 0
         #: receivers known to have crashed (scheduler calls :meth:`mark_crashed`).
         self._dead: set[ProcessId] = set()
-        #: undelivered messages addressed to receivers not marked crashed.
-        #: Maintained on send/deliver/mark so quiescence checks are O(1)
-        #: instead of rescanning queues every tick.
+        #: undelivered *deliverable* messages addressed to receivers not marked
+        #: crashed. Maintained on send/deliver/mark so quiescence checks are
+        #: O(1) instead of rescanning queues every tick. Messages that can
+        #: never arrive (``deliver_at >= NEVER``, e.g. across a permanent
+        #: partition) are excluded — they must not keep
+        #: ``run_until_quiescent`` spinning forever.
         self.live_pending = 0
+        #: per-receiver head delivery time (None = empty queue); mirrors
+        #: ``self._queues[r][0].deliver_at`` at all times.
+        self._next_at: list[Time | None] = [None] * n
+        #: per-receiver undelivered count (= ``len(self._queues[r])``).
+        self._pending: list[int] = [0] * n
+        #: per-receiver undelivered count excluding never-deliverable mail.
+        self._live: list[int] = [0] * n
+        #: global lazy min-heap of ``(deliver_at, receiver)`` horizon entries.
+        self._horizon: list[tuple[Time, ProcessId]] = []
+        #: compaction threshold: stale entries accumulate on runs that never
+        #: query the horizon (naive engine, quiescence loops), so pushes
+        #: rebuild the heap from the index once it outgrows this. Rebuilding
+        #: costs O(n) and shrinks the heap to <= n entries, so at least
+        #: ~3n pushes separate rebuilds — amortized O(1).
+        self._horizon_cap = max(64, 4 * n)
 
     def send(
         self, sender: ProcessId, receiver: ProcessId, payload: Any, t: Time
@@ -195,8 +223,9 @@ class Network:
         delay = self.delay_model.delay(sender, receiver, t)
         if delay < 1:
             raise ValueError(f"delay model produced non-positive delay {delay}")
+        deliver_at = t + delay
         envelope = Envelope(
-            deliver_at=t + delay,
+            deliver_at=deliver_at,
             seq=next(self._seq),
             sender=sender,
             receiver=receiver,
@@ -205,8 +234,17 @@ class Network:
         )
         heapq.heappush(self._queues[receiver], envelope)
         self.sent_count += 1
-        if receiver not in self._dead:
-            self.live_pending += 1
+        self._pending[receiver] += 1
+        if deliver_at < NEVER:
+            self._live[receiver] += 1
+            if receiver not in self._dead:
+                self.live_pending += 1
+        next_at = self._next_at[receiver]
+        if next_at is None or deliver_at < next_at:
+            self._next_at[receiver] = deliver_at
+            if len(self._horizon) > self._horizon_cap:
+                self._compact_horizon()
+            heapq.heappush(self._horizon, (deliver_at, receiver))
         return envelope
 
     def send_all(
@@ -217,11 +255,56 @@ class Network:
         *,
         include_self: bool = True,
     ) -> list[Envelope]:
-        """Send ``payload`` to every process (the paper's ``Send``)."""
-        receivers = range(self.n) if include_self else (
-            p for p in range(self.n) if p != sender
-        )
-        return [self.send(sender, receiver, payload, t) for receiver in receivers]
+        """Send ``payload`` to every process (the paper's ``Send``), batched.
+
+        One pass over the delay model in receiver order — the same draws, in
+        the same order, as ``n`` point-to-point :meth:`send` calls — with the
+        payload shared across envelopes. Every counter is updated as its
+        envelope is queued, so a delay model raising mid-broadcast leaves
+        the network consistent with the envelopes already sent.
+        """
+        delay_of = self.delay_model.delay
+        seq = self._seq
+        queues = self._queues
+        next_at = self._next_at
+        pending = self._pending
+        live = self._live
+        dead = self._dead
+        horizon = self._horizon
+        envelopes: list[Envelope] = []
+        append = envelopes.append
+        for receiver in range(self.n):
+            if receiver == sender and not include_self:
+                continue
+            delay = delay_of(sender, receiver, t)
+            if delay < 1:
+                raise ValueError(
+                    f"delay model produced non-positive delay {delay}"
+                )
+            deliver_at = t + delay
+            envelope = Envelope(
+                deliver_at=deliver_at,
+                seq=next(seq),
+                sender=sender,
+                receiver=receiver,
+                payload=payload,
+                send_time=t,
+            )
+            heapq.heappush(queues[receiver], envelope)
+            self.sent_count += 1
+            pending[receiver] += 1
+            if deliver_at < NEVER:
+                live[receiver] += 1
+                if receiver not in dead:
+                    self.live_pending += 1
+            head = next_at[receiver]
+            if head is None or deliver_at < head:
+                next_at[receiver] = deliver_at
+                if len(horizon) > self._horizon_cap:
+                    self._compact_horizon()
+                heapq.heappush(horizon, (deliver_at, receiver))
+            append(envelope)
+        return envelopes
 
     def peek_deliverable(self, receiver: ProcessId, t: Time) -> Envelope | None:
         """The oldest message deliverable to ``receiver`` at time ``t``, if any."""
@@ -235,15 +318,64 @@ class Network:
         queue = self._queues[receiver]
         if queue and queue[0].deliver_at <= t:
             self.delivered_count += 1
-            if receiver not in self._dead:
-                self.live_pending -= 1
-            return heapq.heappop(queue)
+            self._pending[receiver] -= 1
+            envelope = heapq.heappop(queue)
+            if envelope.deliver_at < NEVER:
+                self._live[receiver] -= 1
+                if receiver not in self._dead:
+                    self.live_pending -= 1
+            if queue:
+                head = queue[0].deliver_at
+                self._next_at[receiver] = head
+                if len(self._horizon) > self._horizon_cap:
+                    self._compact_horizon()
+                heapq.heappush(self._horizon, (head, receiver))
+            else:
+                self._next_at[receiver] = None
+            return envelope
         return None
 
     def next_delivery_time(self, receiver: ProcessId) -> Time | None:
         """Delivery time of the oldest in-transit message to ``receiver``."""
-        queue = self._queues[receiver]
-        return queue[0].deliver_at if queue else None
+        return self._next_at[receiver]
+
+    # -- the global delivery horizon ----------------------------------------
+
+    def horizon_peek(self) -> tuple[Time, ProcessId] | None:
+        """The earliest ``(deliver_at, receiver)`` over all queues, or None.
+
+        Lazily discards stale heap entries (whose time no longer matches the
+        next-delivery index) — amortized O(log n) per structural change.
+        """
+        horizon = self._horizon
+        next_at = self._next_at
+        while horizon:
+            entry = horizon[0]
+            if next_at[entry[1]] == entry[0]:
+                return entry
+            heapq.heappop(horizon)
+        return None
+
+    def horizon_pop(self) -> tuple[Time, ProcessId]:
+        """Pop the top horizon entry (call directly after :meth:`horizon_peek`)."""
+        return heapq.heappop(self._horizon)
+
+    def _compact_horizon(self) -> None:
+        """Rebuild the horizon heap from the index, in place.
+
+        Drops every stale entry at once; runs that push without ever
+        querying (the naive engine, quiescence loops) would otherwise grow
+        the heap by one entry per delivered message.
+        """
+        next_at = self._next_at
+        self._horizon[:] = [
+            (t, receiver) for receiver, t in enumerate(next_at) if t is not None
+        ]
+        heapq.heapify(self._horizon)
+
+    def horizon_push(self, entry: tuple[Time, ProcessId]) -> None:
+        """Reinsert an entry taken out with :meth:`horizon_pop`."""
+        heapq.heappush(self._horizon, entry)
 
     def mark_crashed(self, pid: ProcessId) -> None:
         """Exclude ``pid``'s queue from the live-pending count, permanently.
@@ -253,21 +385,24 @@ class Network:
         """
         if pid not in self._dead:
             self._dead.add(pid)
-            self.live_pending -= len(self._queues[pid])
+            self.live_pending -= self._live[pid]
 
     def in_transit(self, receiver: ProcessId | None = None) -> int:
-        """Number of undelivered messages (optionally for one receiver)."""
+        """Number of undelivered messages (optionally for one receiver). O(1)."""
         if receiver is not None:
-            return len(self._queues[receiver])
-        return sum(len(q) for q in self._queues)
+            return self._pending[receiver]
+        return sum(self._pending)
 
     def pending_for(self, receivers: Iterable[ProcessId]) -> int:
-        """Number of undelivered messages addressed to any of ``receivers``."""
-        return sum(len(self._queues[r]) for r in receivers)
+        """Number of undelivered messages addressed to any of ``receivers``.
+
+        O(1) per receiver (reads the maintained per-receiver counters).
+        """
+        pending = self._pending
+        return sum(pending[r] for r in receivers)
 
     def earliest_pending(self, receivers: Iterable[ProcessId]) -> Time | None:
         """Earliest delivery time among messages to ``receivers``, if any."""
-        times = [
-            self._queues[r][0].deliver_at for r in receivers if self._queues[r]
-        ]
+        next_at = self._next_at
+        times = [next_at[r] for r in receivers if next_at[r] is not None]
         return min(times, default=None)

@@ -28,10 +28,17 @@ recording out of the scheduler into an observer protocol:
   ========== ===============================================================
 
 An observer that sets ``wants_idle_steps = True`` forces the event engine to
-materialize a :class:`~repro.sim.runs.StepRecord` for every live tick it
-fast-forwards over (the record a naive stepper would have produced: no
-message, no inputs, no timeout — just the sampled detector value). Observers
-that leave it ``False`` let the engine skip idle stretches in O(1).
+record every live tick it fast-forwards over (the step a naive stepper would
+have produced: no message, no inputs, no timeout — just the sampled detector
+value). Observers that leave it ``False`` let the engine skip idle stretches
+in O(1).
+
+Idle ticks are dispatched through the ``on_idle_step`` fast path: the engine
+hands over the four scalars that fully determine an idle step and the base
+class materializes a :class:`~repro.sim.runs.StepRecord` for observers that
+only implement ``on_step``. Recorders override the fast path to append
+straight into the columnar :class:`~repro.sim.runs.StepStore`, so
+full-fidelity runs no longer allocate a dataclass per fast-forwarded tick.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.sim.errors import ConfigurationError
-from repro.sim.runs import RunRecord, StepRecord
+from repro.sim.runs import ReceivedMessage, RunRecord, StepRecord, StepStore
 from repro.sim.types import ProcessId, Time
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scheduler imports us)
@@ -58,13 +65,100 @@ class SimObserver:
     happen. Observers must not mutate simulation state.
     """
 
-    #: When True, the event engine materializes StepRecords for idle live
-    #: ticks instead of skipping them, so ``on_step`` sees every step the
+    #: When True, the event engine records idle live ticks instead of
+    #: skipping them, so ``on_step`` / ``on_idle_step`` sees every step the
     #: naive stepper would have taken.
     wants_idle_steps: bool = False
 
     def on_step(self, sim: "Simulation", record: StepRecord) -> None:
         """One step was taken (or, for full-fidelity runs, an idle tick passed)."""
+
+    def on_idle_step(
+        self,
+        sim: "Simulation",
+        index: int,
+        t: Time,
+        pid: ProcessId,
+        fd_value: Any,
+    ) -> None:
+        """An idle live tick passed while idle-step recording is forced.
+
+        The four scalars fully determine the step a naive stepper would have
+        produced; the default materializes that record and feeds ``on_step``,
+        so observers that only override ``on_step`` see every step. Override
+        this to skip the record allocation on the fast-forward hot path.
+        """
+        self.on_step(
+            sim,
+            StepRecord(index=index, time=t, pid=pid, message=None, fd_value=fd_value),
+        )
+
+    def on_idle_span(
+        self, sim: "Simulation", start_index: int, start: Time, end: Time
+    ) -> None:
+        """A uniform idle span ``[start, end)`` passed (round-robin, no
+        crashes inside): one live idle tick per clock tick, pids ``t % n``.
+
+        The default feeds each tick through ``on_idle_step`` (querying the
+        detector per tick — sound because detector histories are pure
+        functions of ``(pid, t)``); columnar recorders override this to
+        extend their columns in bulk.
+        """
+        n = sim.n
+        detector = sim.detector
+        index = start_index
+        for t in range(start, end):
+            pid = t % n
+            fd_value = detector.query(pid, t) if detector is not None else None
+            self.on_idle_step(sim, index, t, pid, fd_value)
+            index += 1
+
+    def on_step_raw(
+        self,
+        sim: "Simulation",
+        index: int,
+        t: Time,
+        pid: ProcessId,
+        sender: ProcessId,
+        payload: Any,
+        send_time: Time,
+        fd_value: Any,
+        inputs: tuple[Any, ...],
+        outputs: tuple[Any, ...],
+        timeout_fired: bool,
+        sent: int,
+        received_count: int,
+    ) -> None:
+        """An executed step, decomposed into its raw fields.
+
+        The scheduler only takes this path when *every* attached step
+        observer overrides it (otherwise it materializes one
+        :class:`StepRecord` and dispatches ``on_step`` as usual), so an
+        override must be behaviourally identical to its ``on_step``.
+        ``sender`` is -1 for a lambda step. The base implementation exists
+        for recorders falling back to record dispatch; plain observers
+        should override ``on_step`` instead.
+        """
+        message = (
+            None
+            if sender < 0
+            else ReceivedMessage(sender=sender, payload=payload, send_time=send_time)
+        )
+        self.on_step(
+            sim,
+            StepRecord(
+                index=index,
+                time=t,
+                pid=pid,
+                message=message,
+                fd_value=fd_value,
+                inputs=inputs,
+                outputs=outputs,
+                timeout_fired=timeout_fired,
+                sent=sent,
+                received_count=received_count,
+            ),
+        )
 
     def on_send(self, sim: "Simulation", envelope: "Envelope") -> None:
         """A message entered the network."""
@@ -120,18 +214,104 @@ class RunMetrics:
 
 
 class FullRecorder(SimObserver):
-    """``record="full"``: retain the complete run record, seed-identical."""
+    """``record="full"``: retain the complete run record, seed-identical.
+
+    Executed steps are decomposed into the run's columnar
+    :class:`~repro.sim.runs.StepStore`; idle ticks take the
+    ``on_idle_step`` fast path and never materialize a record at all.
+    """
 
     wants_idle_steps = True
 
     def __init__(self, run: RunRecord) -> None:
         self.run = run
+        steps = run.steps
+        self._store = steps if isinstance(steps, StepStore) else None
 
     def on_step(self, sim: "Simulation", record: StepRecord) -> None:
         self.run.record_step(record)
 
+    def on_step_raw(
+        self,
+        sim: "Simulation",
+        index: int,
+        t: Time,
+        pid: ProcessId,
+        sender: ProcessId,
+        payload: Any,
+        send_time: Time,
+        fd_value: Any,
+        inputs: tuple[Any, ...],
+        outputs: tuple[Any, ...],
+        timeout_fired: bool,
+        sent: int,
+        received_count: int,
+    ) -> None:
+        store = self._store
+        if store is None:  # list-backed run: materialize the record instead
+            super().on_step_raw(
+                sim, index, t, pid, sender, payload, send_time, fd_value,
+                inputs, outputs, timeout_fired, sent, received_count,
+            )
+            return
+        store.append_exec(
+            index, t, pid, sender, payload, send_time, fd_value,
+            inputs, outputs, timeout_fired, sent, received_count,
+        )
+        self.run.record_histories_raw(pid, t, inputs, outputs)
+
+    def on_idle_step(
+        self,
+        sim: "Simulation",
+        index: int,
+        t: Time,
+        pid: ProcessId,
+        fd_value: Any,
+    ) -> None:
+        store = self._store
+        if store is None:  # list-backed run: fall back to record views
+            super().on_idle_step(sim, index, t, pid, fd_value)
+            return
+        store.append_idle(index, t, pid, fd_value)
+        run = self.run
+        if t > run.end_time:  # idle steps carry no inputs/outputs to fold
+            run.end_time = t
+
+    def on_idle_span(
+        self, sim: "Simulation", start_index: int, start: Time, end: Time
+    ) -> None:
+        store = self._store
+        if store is None:  # list-backed run: per-tick record materialization
+            super().on_idle_span(sim, start_index, start, end)
+            return
+        store.extend_idle_span(start_index, start, end, sim.n, sim.detector)
+        run = self.run
+        if end - 1 > run.end_time:
+            run.end_time = end - 1
+
     def on_log(self, sim: "Simulation", t: Time, pid: ProcessId, event: Any) -> None:
         self.run.log.append((t, pid, event))
+
+
+class LegacyFullRecorder(FullRecorder):
+    """Full-fidelity recording into a plain list of ``StepRecord`` objects.
+
+    The pre-columnar data plane, kept on purpose: the differential tests pin
+    the columnar store byte-identical against it, and
+    ``benchmarks/bench_dataplane.py`` uses it as the wall-clock / peak-memory
+    baseline. Attach via ``Simulation(record="none",
+    observers=[LegacyFullRecorder(run)])`` where ``run`` was built with
+    ``steps=[]``; every step — idle ticks included — is materialized and
+    retained as a dataclass, exactly as the seed engine recorded.
+    """
+
+    def __init__(self, run: RunRecord) -> None:
+        if isinstance(run.steps, StepStore):
+            raise ConfigurationError(
+                "LegacyFullRecorder needs a list-backed run; build it with "
+                "RunRecord(n, pattern, steps=[])"
+            )
+        super().__init__(run)
 
 
 class OutputsRecorder(SimObserver):
@@ -142,6 +322,24 @@ class OutputsRecorder(SimObserver):
 
     def on_step(self, sim: "Simulation", record: StepRecord) -> None:
         self.run.record_histories(record)
+
+    def on_step_raw(
+        self,
+        sim: "Simulation",
+        index: int,
+        t: Time,
+        pid: ProcessId,
+        sender: ProcessId,
+        payload: Any,
+        send_time: Time,
+        fd_value: Any,
+        inputs: tuple[Any, ...],
+        outputs: tuple[Any, ...],
+        timeout_fired: bool,
+        sent: int,
+        received_count: int,
+    ) -> None:
+        self.run.record_histories_raw(pid, t, inputs, outputs)
 
     def on_log(self, sim: "Simulation", t: Time, pid: ProcessId, event: Any) -> None:
         self.run.log.append((t, pid, event))
@@ -171,6 +369,33 @@ class MetricsRecorder(SimObserver):
         m.outputs += len(record.outputs)
         if record.time > m.end_time:
             m.end_time = record.time
+
+    def on_step_raw(
+        self,
+        sim: "Simulation",
+        index: int,
+        t: Time,
+        pid: ProcessId,
+        sender: ProcessId,
+        payload: Any,
+        send_time: Time,
+        fd_value: Any,
+        inputs: tuple[Any, ...],
+        outputs: tuple[Any, ...],
+        timeout_fired: bool,
+        sent: int,
+        received_count: int,
+    ) -> None:
+        m = self.metrics
+        m.steps += 1
+        m.steps_by_pid[pid] += 1
+        m.messages_sent += sent
+        m.messages_received += received_count
+        m.timeouts_fired += bool(timeout_fired)
+        m.inputs += len(inputs)
+        m.outputs += len(outputs)
+        if t > m.end_time:
+            m.end_time = t
 
     def on_finish(self, sim: "Simulation") -> None:
         if sim.last_live_tick > self.metrics.end_time:

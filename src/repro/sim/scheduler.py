@@ -26,10 +26,14 @@ handler runs and the step is the empty ``(p, lambda, d, -)`` step. Two engines
 drive the clock:
 
 - ``engine="naive"`` — the seed behaviour: every tick pays full step cost.
-- ``engine="event"`` (default) — computes, per process, the earliest
-  *interesting* tick (the minimum of: next deliverable envelope, next pending
-  input, next due local timeout, the pending ``on_start``; gated by the
-  process's crash boundary) and fast-forwards the clock over idle stretches.
+- ``engine="event"`` (default) — finds the earliest *interesting* tick (the
+  minimum over processes of: next deliverable envelope, next pending input,
+  next due local timeout, the pending ``on_start``; gated by the process's
+  crash boundary) and fast-forwards the clock over idle stretches. The
+  minimum is answered by two incremental indexes — the network's delivery
+  horizon and the scheduler's local event index, each a lazy min-heap over
+  per-process O(1) cursors — so a query costs O(log n) per jump rather
+  than an O(n) rescan of heaps and timeout tables.
   Under round-robin scheduling the jump is O(1) per skipped stretch. Under
   random scheduling the skip is *blockwise*: every tick strictly before the
   earliest pending event is idle regardless of which permutation the
@@ -68,7 +72,7 @@ import itertools
 import random
 from typing import Any, Callable, Protocol, Sequence
 
-from repro.sim.context import Context
+from repro.sim.context import BROADCAST_ALL, Context
 from repro.sim.errors import ConfigurationError
 from repro.sim.failures import FailurePattern
 from repro.sim.network import DelayModel, FixedDelay, Network
@@ -76,6 +80,7 @@ from repro.sim.observers import RunMetrics, SimObserver, make_recorder
 from repro.sim.process import Process
 from repro.sim.runs import ReceivedMessage, RunRecord, StepRecord
 from repro.sim.types import (
+    NEVER,
     ProcessId,
     Time,
     stable_hash,
@@ -162,6 +167,10 @@ class Simulation:
         #: process into one tick, which is necessary for gossip-heavy stacks
         #: whose inflow otherwise exceeds the one-message-per-tick drain rate.
         self.message_batch = message_batch
+        #: pooled per-step context. Safe to reuse: handlers never retain the
+        #: context past their step (the automaton contract), and every step
+        #: drains all three effect buffers, leaving fresh empty lists behind.
+        self._ctx = Context(pid=0, n=self.n, time=0)
 
         self.time: Time = 0
         #: last tick consumed by a live (non-crashed) process, -1 before any.
@@ -196,6 +205,27 @@ class Simulation:
                     f"observers must be SimObserver instances, got {observer!r}"
                 )
         self._step_observers = [o for o in self._observers if _overrides(o, "on_step")]
+        #: raw executed-step dispatch: taken only when every step observer
+        #: overrides ``on_step_raw`` (the built-in recorders do), so the hot
+        #: loop never materializes StepRecord/ReceivedMessage objects that
+        #: nothing retains. A single observer without the raw hook reverts
+        #: all dispatch to materialized records.
+        self._raw_step_observers = (
+            self._step_observers
+            if self._step_observers
+            and all(_overrides(o, "on_step_raw") for o in self._step_observers)
+            else None
+        )
+        #: observers that must see idle ticks when materialization is forced:
+        #: anything overriding the generic ``on_step`` hook, plus recorders
+        #: overriding the allocation-free ``on_idle_step`` fast path.
+        self._idle_step_observers = [
+            o
+            for o in self._observers
+            if _overrides(o, "on_step")
+            or _overrides(o, "on_idle_step")
+            or _overrides(o, "on_idle_span")
+        ]
         self._send_observers = [o for o in self._observers if _overrides(o, "on_send")]
         self._deliver_observers = [
             o for o in self._observers if _overrides(o, "on_deliver")
@@ -212,6 +242,22 @@ class Simulation:
         )
         self._crash_cursor = 0
 
+        #: incremental *local* next-event index: per process, the earliest
+        #: time with scheduler-side work pending — the next due timeout or
+        #: pending input, or 0 while the process has not run ``on_start``
+        #: (its first step is always interesting). Maintained by
+        #: :meth:`_refresh_local` after every executed step and lowered by
+        #: :meth:`add_input`; paired with a lazy min-heap mirroring the
+        #: network's delivery horizon so next-event queries cost O(log n)
+        #: instead of an O(n) rescan of timeouts/inputs/queues.
+        self._local_event: list[Time] = [0] * self.n
+        self._local_horizon: list[tuple[Time, ProcessId]] = [
+            (0, pid) for pid in range(self.n)
+        ]
+        #: see Network._horizon_cap: bound the stale-entry build-up on runs
+        #: that push (every executed step) without ever querying.
+        self._local_cap = max(64, 4 * self.n)
+
     # -- inputs ----------------------------------------------------------------
 
     def add_input(self, pid: ProcessId, time: Time, value: Any) -> None:
@@ -219,6 +265,9 @@ class Simulation:
         validate_process_id(pid, self.n)
         validate_time(time)
         heapq.heappush(self._inputs[pid], (time, next(self._input_seq), value))
+        if time < self._local_event[pid]:
+            self._local_event[pid] = time
+            self._push_local(time, pid)
 
     # -- stepping ----------------------------------------------------------------
 
@@ -247,7 +296,9 @@ class Simulation:
         """Advance the clock one tick; run the scheduled process if alive.
 
         Returns the step record, or None when the tick belonged to a crashed
-        process (the tick is consumed either way).
+        process (the tick is consumed either way) or when recording took the
+        raw columnar path (every step observer handles ``on_step_raw``, so
+        no record object is ever materialized).
         """
         t = self.time
         self.time += 1
@@ -258,7 +309,10 @@ class Simulation:
 
         process = self.processes[pid]
         fd_value = self.detector.query(pid, t) if self.detector is not None else None
-        ctx = Context(pid=pid, n=self.n, time=t, fd_value=fd_value)
+        ctx = self._ctx
+        ctx.pid = pid
+        ctx.time = t
+        ctx.fd_value = fd_value
 
         if pid not in self._started:
             self._started.add(pid)
@@ -271,18 +325,14 @@ class Simulation:
             inputs.append(value)
             process.on_input(ctx, value)
 
-        received: ReceivedMessage | None = None
+        first_envelope = None
         received_count = 0
         for __ in range(self.message_batch):
             envelope = self.network.pop_deliverable(pid, t)
             if envelope is None:
                 break
-            if received is None:
-                received = ReceivedMessage(
-                    sender=envelope.sender,
-                    payload=envelope.payload,
-                    send_time=envelope.send_time,
-                )
+            if first_envelope is None:
+                first_envelope = envelope
             received_count += 1
             if self._deliver_observers:
                 for observer in self._deliver_observers:
@@ -296,14 +346,27 @@ class Simulation:
             process.on_timeout(ctx)
 
         outbox = ctx.drain_outbox()
-        if self._send_observers:
-            for receiver, payload in outbox:
-                envelope = self.network.send(pid, receiver, payload, t)
-                for observer in self._send_observers:
-                    observer.on_send(self, envelope)
-        else:
-            for receiver, payload in outbox:
-                self.network.send(pid, receiver, payload, t)
+        network = self.network
+        send_observers = self._send_observers
+        sent = 0
+        for receiver, payload in outbox:
+            if receiver >= 0:
+                envelope = network.send(pid, receiver, payload, t)
+                sent += 1
+                if send_observers:
+                    for observer in send_observers:
+                        observer.on_send(self, envelope)
+            else:
+                # Broadcast sentinel (see repro.sim.context): one batched
+                # delay-model pass over all receivers.
+                envelopes = network.send_all(
+                    pid, payload, t, include_self=receiver == BROADCAST_ALL
+                )
+                sent += len(envelopes)
+                if send_observers:
+                    for envelope in envelopes:
+                        for observer in send_observers:
+                            observer.on_send(self, envelope)
         outputs = ctx.drain_outputs()
         if self._log_observers:
             for event in ctx.drain_log():
@@ -312,95 +375,165 @@ class Simulation:
         else:
             ctx.drain_log()
 
+        self._refresh_local(pid)
+        index = self._step_index
+        self._step_index += 1
+        inputs_t = tuple(inputs)
+        outputs_t = tuple(outputs)
+        raw_observers = self._raw_step_observers
+        if raw_observers is not None:
+            if first_envelope is None:
+                sender, payload, send_time = -1, None, -1
+            else:
+                sender = first_envelope.sender
+                payload = first_envelope.payload
+                send_time = first_envelope.send_time
+            for observer in raw_observers:
+                observer.on_step_raw(
+                    self, index, t, pid, sender, payload, send_time,
+                    fd_value, inputs_t, outputs_t, timeout_fired, sent,
+                    received_count,
+                )
+            return None
+        received = (
+            None
+            if first_envelope is None
+            else ReceivedMessage(
+                sender=first_envelope.sender,
+                payload=first_envelope.payload,
+                send_time=first_envelope.send_time,
+            )
+        )
         record = StepRecord(
-            index=self._step_index,
+            index=index,
             time=t,
             pid=pid,
             message=received,
             fd_value=fd_value,
-            inputs=tuple(inputs),
-            outputs=tuple(outputs),
+            inputs=inputs_t,
+            outputs=outputs_t,
             timeout_fired=timeout_fired,
-            sent=len(outbox),
+            sent=sent,
             received_count=received_count,
         )
-        self._step_index += 1
         for observer in self._step_observers:
             observer.on_step(self, record)
         return record
 
+    def _refresh_local(self, pid: ProcessId) -> None:
+        """Re-derive ``pid``'s local next-event time after an executed step.
+
+        A step is the only place the local sources move (``on_start`` runs,
+        inputs are consumed, the timeout is rescheduled), so refreshing here
+        keeps the invariant: ``_local_event[pid]`` is 0 while unstarted, else
+        ``min(next timeout, earliest pending input)``.
+        """
+        event_at = self._next_timeout[pid]
+        queue = self._inputs[pid]
+        if queue and queue[0][0] < event_at:
+            event_at = queue[0][0]
+        if event_at != self._local_event[pid]:
+            self._local_event[pid] = event_at
+            self._push_local(event_at, pid)
+
+    def _push_local(self, event_at: Time, pid: ProcessId) -> None:
+        """Push a local-horizon entry, compacting the heap when it outgrows
+        its cap (stale entries accumulate on runs that never query)."""
+        horizon = self._local_horizon
+        if len(horizon) > self._local_cap:
+            local = self._local_event
+            horizon[:] = [(local[p], p) for p in range(self.n)]
+            heapq.heapify(horizon)
+        heapq.heappush(horizon, (event_at, pid))
+
     # -- the event engine ------------------------------------------------------
+
+    def _event_time(self, pid: ProcessId) -> Time:
+        """Earliest time with work pending for ``pid`` (unclamped); O(1).
+
+        The minimum of the local index (timeouts / inputs / pending
+        ``on_start``) and the network's next-delivery index.
+        """
+        event_at = self._local_event[pid]
+        deliver_at = self.network.next_delivery_time(pid)
+        if deliver_at is not None and deliver_at < event_at:
+            return deliver_at
+        return event_at
 
     def _tick_interesting(self, pid: ProcessId, t: Time) -> bool:
         """True iff the step at tick ``t`` (scheduled: ``pid``) does any work."""
         if self.failure_pattern.crashed(pid, t):
             return False
-        if pid not in self._started:
-            return True  # the pending on_start makes the first step non-trivial
-        if self._next_timeout[pid] <= t:
-            return True
-        deliver_at = self.network.next_delivery_time(pid)
-        if deliver_at is not None and deliver_at <= t:
-            return True
-        queue = self._inputs[pid]
-        return bool(queue) and queue[0][0] <= t
+        return self._event_time(pid) <= t
 
-    def _next_event_times(self) -> list[Time]:
-        """Per process, the earliest time with work pending (clamped to now).
+    def _next_event_query(self, now: Time, align_rr: bool) -> Time | None:
+        """Earliest actionable tick over both lazy horizon heaps, or None.
 
-        The minimum of: next deliverable envelope, next pending input, next
-        due timeout, and the pending ``on_start`` (= now for an unstarted
-        process). Valid until the next executed step — fast-forwarding never
-        changes any of these, so both engines compute the list once per
-        advance and reuse it across the skipped span.
-        """
-        now = self.time
-        network = self.network
-        events: list[Time] = []
-        for pid in range(self.n):
-            if pid in self._started:
-                event_at = self._next_timeout[pid]
-                deliver_at = network.next_delivery_time(pid)
-                if deliver_at is not None and deliver_at < event_at:
-                    event_at = deliver_at
-                queue = self._inputs[pid]
-                if queue and queue[0][0] < event_at:
-                    event_at = queue[0][0]
-                if event_at < now:
-                    event_at = now
-            else:
-                event_at = now
-            events.append(event_at)
-        return events
+        Queries the scheduler-local event heap and the network's delivery
+        horizon instead of scanning every process: entries pop in time
+        order until none can beat the best candidate found. Under
+        round-robin (``align_rr``) a candidate is the event time aligned to
+        its process's next scheduled slot — alignment adds < n, so only
+        entries within one round of the minimum are examined (O(log n)
+        amortized per jump); under random scheduling any permutation may
+        schedule the owner at any slot, so the candidate is the event time
+        itself (clamped to ``now``).
 
-    def _next_event_tick_rr(self) -> Time | None:
-        """Earliest interesting tick >= now under round-robin, or None.
-
-        O(n): each process contributes its earliest event time, aligned to
-        its next scheduled tick and gated by its crash boundary.
+        Stale entries — their time no longer matches the owning index —
+        are discarded for good. Valid entries are always reinserted, even
+        when crash-gated (the process can never act on the event): the
+        network's horizon heap remains the authoritative "earliest over
+        all queues" index for :meth:`~repro.sim.network.Network.horizon_peek`,
+        and gated entries simply never become the answer.
         """
         n = self.n
-        pattern = self.failure_pattern
+        crash_times = self.failure_pattern.crash_times
+        network = self.network
         best: Time | None = None
-        for pid, event_at in enumerate(self._next_event_times()):
-            tick = event_at + ((pid - event_at) % n)
-            crash_at = pattern.crash_times.get(pid)
-            if crash_at is not None and tick >= crash_at:
-                continue  # pid never steps again
-            if best is None or tick < best:
-                best = tick
+        for horizon, index in (
+            (self._local_horizon, self._local_event),
+            (network._horizon, network._next_at),
+        ):
+            stash = None
+            while horizon:
+                entry = horizon[0]
+                event_at, pid = entry
+                if index[pid] != event_at:
+                    heapq.heappop(horizon)  # stale
+                    continue
+                eff = event_at if event_at > now else now
+                if best is not None and eff >= best:
+                    break
+                heapq.heappop(horizon)
+                if stash is None:
+                    stash = [entry]
+                else:
+                    stash.append(entry)
+                tick = eff + ((pid - eff) % n) if align_rr else eff
+                crash_at = crash_times.get(pid)
+                if crash_at is not None and tick >= crash_at:
+                    continue  # pid can never act on this event
+                if best is None or tick < best:
+                    best = tick
+            if stash is not None:
+                for entry in stash:
+                    heapq.heappush(horizon, entry)
         return best
 
     def _record_idle_step(self, t: Time, pid: ProcessId) -> None:
-        """Materialize the record a naive stepper would produce for an idle tick."""
+        """Record the step a naive stepper would produce for an idle tick.
+
+        Dispatched through ``on_idle_step`` so columnar recorders append
+        straight into their store; only observers that merely override
+        ``on_step`` get a materialized :class:`StepRecord` (built by the
+        base-class ``on_idle_step``).
+        """
         self.last_live_tick = t
         fd_value = self.detector.query(pid, t) if self.detector is not None else None
-        record = StepRecord(
-            index=self._step_index, time=t, pid=pid, message=None, fd_value=fd_value
-        )
+        index = self._step_index
         self._step_index += 1
-        for observer in self._step_observers:
-            observer.on_step(self, record)
+        for observer in self._idle_step_observers:
+            observer.on_idle_step(self, index, t, pid, fd_value)
 
     def _skip_span_rr(self, start: Time, end: Time) -> None:
         """Fast-forward the clock over ``[start, end)`` (round-robin, all idle)."""
@@ -428,6 +561,17 @@ class Simulation:
             if last_live > self.last_live_tick:
                 self.last_live_tick = last_live
             return
+        crash_times = self.failure_pattern.crash_times
+        if not crash_times or min(crash_times.values()) >= end:
+            # Uniform span: every tick is live and idle, so recorders can
+            # append the whole stretch in bulk (columnar stores extend their
+            # arrays at C speed instead of per-tick record dispatch).
+            self.last_live_tick = end - 1
+            start_index = self._step_index
+            self._step_index += end - start
+            for observer in self._idle_step_observers:
+                observer.on_idle_span(self, start_index, start, end)
+            return
         n = self.n
         crashed = self.failure_pattern.crashed
         for t in range(start, end):
@@ -437,7 +581,19 @@ class Simulation:
 
     def _advance_event_rr(self, t_end: Time) -> None:
         """Execute the next interesting tick before ``t_end``, or jump to it."""
-        target = self._next_event_tick_rr()
+        # Dense-run fast path: when the current tick is already interesting
+        # the horizon query below would return `now` — skip it (O(1)).
+        now = self.time
+        pid = now % self.n
+        if self._local_event[pid] <= now:
+            due = True
+        else:
+            deliver_at = self.network._next_at[pid]
+            due = deliver_at is not None and deliver_at <= now
+        if due and not self.failure_pattern.crashed(pid, now):
+            self.step()
+            return
+        target = self._next_event_query(now, align_rr=True)
         if target is None or target >= t_end:
             self._skip_span_rr(self.time, t_end)
             self.time = t_end
@@ -456,8 +612,14 @@ class Simulation:
         """
         if self._materialize_idle or self._random_ff == "scan":
             self._advance_event_random_scan(t_end)
-        else:
-            self._advance_event_random_block(t_end)
+            return
+        # Dense-run fast path, mirroring the round-robin one.
+        now = self.time
+        pid = self._scheduled_pid(now)
+        if not self.failure_pattern.crashed(pid, now) and self._event_time(pid) <= now:
+            self.step()
+            return
+        self._advance_event_random_block(t_end)
 
     def _advance_event_random_scan(self, t_end: Time) -> None:
         """Per-tick walk: check each tick's scheduled process for due work."""
@@ -491,17 +653,11 @@ class Simulation:
         """
         n = self.n
         crash_times = self.failure_pattern.crash_times
-        events = self._next_event_times()
+        local = self._local_event
+        next_at = self.network._next_at  # O(1) per-receiver delivery index
         t = self.time
         while t < t_end:
-            horizon: Time | None = None
-            for pid in range(n):
-                event_at = events[pid] if events[pid] > t else t
-                crash_at = crash_times.get(pid)
-                if crash_at is not None and event_at >= crash_at:
-                    continue  # pid can never act on its pending work
-                if horizon is None or event_at < horizon:
-                    horizon = event_at
+            horizon = self._next_event_query(t, align_rr=False)
             if horizon is None or horizon >= t_end:
                 self._skip_span_random(t, t_end)
                 self.time = t_end
@@ -516,7 +672,11 @@ class Simulation:
                 pid = perm[t - block_start]
                 crash_at = crash_times.get(pid)
                 if crash_at is None or t < crash_at:
-                    if events[pid] <= t:
+                    event_at = local[pid]
+                    deliver_at = next_at[pid]
+                    if deliver_at is not None and deliver_at < event_at:
+                        event_at = deliver_at
+                    if event_at <= t:
                         self.time = t
                         self.step()
                         return

@@ -114,11 +114,12 @@ class LayerContext:
         self._base.send(receiver, (self.index, payload))
 
     def send_all(self, payload: Any, *, include_self: bool = True) -> None:
-        """Send to this layer's peers at every process."""
-        for receiver in range(self.n):
-            if receiver == self.pid and not include_self:
-                continue
-            self._base.send(receiver, (self.index, payload))
+        """Send to this layer's peers at every process.
+
+        One framing tuple is shared across all receivers (the scheduler's
+        batched broadcast path shares the payload reference per envelope).
+        """
+        self._base.send_all((self.index, payload), include_self=include_self)
 
     def send_raw(self, receiver: ProcessId, payload: Any) -> None:
         """Send without stack framing — for non-stack peers (e.g. clients)."""

@@ -127,6 +127,13 @@ class TimelineObserver(SimObserver):
             return
         self._collect(record)
 
+    def on_idle_step(self, sim, index, t, pid, fd_value) -> None:
+        # Idle ticks never carry outputs; only the horizon moves. Overriding
+        # the fast path keeps a forced-materialization run (e.g. mixed with
+        # full recording) from building a record per skipped tick here too.
+        if t > self._horizon:
+            self._horizon = t
+
     def on_finish(self, sim: "Simulation") -> None:
         # At reduced fidelity on_step only sees interesting steps; extend the
         # horizon to the run's true last live tick so crash annotations past

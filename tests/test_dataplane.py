@@ -1,0 +1,409 @@
+"""Data-plane tests: the incremental event-horizon index, the columnar step
+store, and the quiescence counter under permanent partitions.
+
+Three pillars:
+
+- a hypothesis property test pinning the network's incremental next-delivery
+  index (per-receiver heads, the global lazy horizon heap, and every counter)
+  against a recompute-from-scratch oracle across random send/pop/crash/tick
+  interleavings;
+- differential tests asserting the columnar :class:`StepStore` is
+  byte-identical — by equality and by pickle — to the legacy list-of-records
+  recording it replaced, on both scheduling policies and both engines;
+- the regression for never-deliverable mail: envelopes crossing a permanent
+  partition must not count toward ``live_pending``, or
+  ``run_until_quiescent`` spins to ``max_time``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    FailurePattern,
+    FixedDelay,
+    LegacyFullRecorder,
+    Network,
+    PartitionWindow,
+    PartitionedDelay,
+    Process,
+    RunRecord,
+    Simulation,
+    StepRecord,
+    StepStore,
+)
+from repro.sim.runs import ReceivedMessage
+from repro.sim.types import NEVER
+
+from test_engine_differential import build_sim, random_config, run_sim
+
+
+# ---------------------------------------------------------------------------
+# The incremental next-event index vs a recompute-from-scratch oracle.
+# ---------------------------------------------------------------------------
+
+
+class SometimesNeverDelay:
+    """Seeded delays in [1, 9], with a slice of never-deliverable sends."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def delay(self, sender, receiver, t):
+        if self._rng.random() < 0.2:
+            return NEVER - t
+        return self._rng.randint(1, 9)
+
+
+class HorizonOracle:
+    """Shadow model: plain sorted lists, recomputed properties from scratch."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.queues: list[list[int]] = [[] for _ in range(n)]
+        self.dead: set[int] = set()
+
+    def next_delivery(self, r: int) -> int | None:
+        return min(self.queues[r], default=None)
+
+    def horizon(self) -> tuple[int, int] | None:
+        heads = [
+            (min(q), r) for r, q in enumerate(self.queues) if q
+        ]
+        return min(heads, default=None)
+
+    def live_pending(self) -> int:
+        return sum(
+            sum(1 for d in q if d < NEVER)
+            for r, q in enumerate(self.queues)
+            if r not in self.dead
+        )
+
+    def check(self, net: Network) -> None:
+        for r in range(self.n):
+            assert net.next_delivery_time(r) == self.next_delivery(r)
+            assert net.in_transit(r) == len(self.queues[r])
+        assert net.horizon_peek() == self.horizon()
+        assert net.in_transit() == sum(len(q) for q in self.queues)
+        assert net.live_pending == self.live_pending()
+        alive = [r for r in range(self.n) if r not in self.dead]
+        assert net.pending_for(alive) == sum(len(self.queues[r]) for r in alive)
+
+
+class TestHorizonIndexOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_index_matches_oracle_across_interleavings(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=5), label="n")
+        net = Network(n, SometimesNeverDelay(seed=n))
+        oracle = HorizonOracle(n)
+        t = 0
+        ops = data.draw(
+            st.lists(
+                st.sampled_from(["send", "send_all", "pop", "crash", "tick"]),
+                min_size=1,
+                max_size=50,
+            ),
+            label="ops",
+        )
+        for op in ops:
+            if op == "send":
+                sender = data.draw(st.integers(0, n - 1))
+                receiver = data.draw(st.integers(0, n - 1))
+                envelope = net.send(sender, receiver, "m", t)
+                oracle.queues[receiver].append(envelope.deliver_at)
+            elif op == "send_all":
+                sender = data.draw(st.integers(0, n - 1))
+                include_self = data.draw(st.booleans())
+                for envelope in net.send_all(
+                    sender, "m", t, include_self=include_self
+                ):
+                    oracle.queues[envelope.receiver].append(envelope.deliver_at)
+            elif op == "pop":
+                receiver = data.draw(st.integers(0, n - 1))
+                envelope = net.pop_deliverable(receiver, t)
+                head = oracle.next_delivery(receiver)
+                if head is not None and head <= t:
+                    assert envelope is not None
+                    assert envelope.deliver_at == head
+                    oracle.queues[receiver].remove(head)
+                else:
+                    assert envelope is None
+            elif op == "crash":
+                receiver = data.draw(st.integers(0, n - 1))
+                net.mark_crashed(receiver)
+                oracle.dead.add(receiver)
+            else:  # tick
+                t += data.draw(st.integers(1, 12))
+            oracle.check(net)
+
+    def test_horizon_pop_and_push_round_trip(self):
+        net = Network(3, FixedDelay(4))
+        net.send(0, 1, "a", 0)
+        net.send(0, 2, "b", 1)
+        entry = net.horizon_peek()
+        assert entry == (4, 1)
+        assert net.horizon_pop() == entry
+        assert net.horizon_peek() == (5, 2)
+        net.horizon_push(entry)
+        assert net.horizon_peek() == (4, 1)
+
+    def test_heaps_stay_bounded_without_queries(self):
+        # Regression: every pop/refresh pushes a lazily-invalidated entry;
+        # runs that never query (naive engine, dense fast paths) must not
+        # accumulate one stale entry per delivered message.
+        class Chatter(Process):
+            def on_timeout(self, ctx):
+                ctx.send((ctx.pid + 1) % ctx.n, "m")
+
+        sim = Simulation(
+            [Chatter() for _ in range(3)],
+            delay_model=FixedDelay(1),
+            timeout_interval=2,
+            engine="naive",
+            record="none",
+        )
+        sim.run_until(20_000)
+        assert sim.network.delivered_count > 5_000
+        assert len(sim.network._horizon) <= sim.network._horizon_cap + 1
+        assert len(sim._local_horizon) <= sim._local_cap + 1
+
+    def test_horizon_peek_stays_authoritative_after_crash_gated_queries(self):
+        # Regression: the scheduler's next-event queries must reinsert
+        # crash-gated entries — the network heap is the global index behind
+        # horizon_peek, not scheduler-private state.
+        class Quiet(Process):
+            pass
+
+        pattern = FailurePattern.crash(3, {2: 1})
+        sim = Simulation(
+            [Quiet() for _ in range(3)],
+            failure_pattern=pattern,
+            delay_model=FixedDelay(4),
+            timeout_interval=7,
+            record="outputs",
+        )
+        sim.network.send(0, 2, "dead letter", 1)
+        sim.run_until(50)
+        assert sim.network.next_delivery_time(2) == 5
+        assert sim.network.horizon_peek() == (5, 2)
+
+    def test_send_all_counters_consistent_when_delay_model_raises(self):
+        class ExplodesOnLast:
+            def delay(self, sender, receiver, t):
+                if receiver == 2:
+                    return 0  # invalid: send_all must raise here
+                return 1
+
+        net = Network(3, ExplodesOnLast())
+        with pytest.raises(ValueError):
+            net.send_all(0, "m", 0)
+        # Receivers 0 and 1 were queued before the failure; every counter
+        # must agree with what actually entered the network.
+        assert net.sent_count == 2
+        assert net.live_pending == 2
+        assert net.in_transit() == 2
+        assert net.horizon_peek() == (1, 0)
+
+
+# ---------------------------------------------------------------------------
+# Columnar recording vs the legacy per-step list, byte for byte.
+# ---------------------------------------------------------------------------
+
+
+def build_legacy_sim(config: dict, *, engine: str) -> tuple[Simulation, RunRecord]:
+    """A sim recording through the pre-columnar list-of-records path."""
+    pattern = FailurePattern.crash(config["n"], config["crashes"])
+    legacy_run = RunRecord(config["n"], pattern, steps=[], seed=13)
+    recorder = LegacyFullRecorder(legacy_run)
+    sim = build_sim(config, engine=engine, record="none", observers=[recorder])
+    return sim, legacy_run
+
+
+class TestColumnarVsLegacyRecording:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("scheduling", ["round_robin", "random"])
+    def test_columnar_equals_legacy(self, seed, scheduling):
+        config = random_config(seed)
+        config["scheduling"] = scheduling
+        columnar = run_sim(build_sim(config, engine="event", record="full"), config)
+        legacy_sim, legacy_run = build_legacy_sim(config, engine="event")
+        run_sim(legacy_sim, config)
+        assert isinstance(columnar.run.steps, StepStore)
+        assert isinstance(legacy_run.steps, list)
+        assert columnar.run == legacy_run, f"records diverged for {config}"
+        # Order of the comparison must not matter (list on the left).
+        assert legacy_run == columnar.run
+
+    def test_legacy_recorder_rejects_columnar_run(self):
+        from repro.sim.errors import ConfigurationError
+
+        pattern = FailurePattern.no_failures(2)
+        with pytest.raises(ConfigurationError):
+            LegacyFullRecorder(RunRecord(2, pattern))
+
+
+class TestRunRecordSerialization:
+    @pytest.mark.parametrize("seed", [0, 5, 11])
+    def test_pickle_byte_identical_across_engines(self, seed):
+        config = random_config(seed)
+        naive = run_sim(build_sim(config, engine="naive"), config)
+        event = run_sim(build_sim(config, engine="event"), config)
+        assert pickle.dumps(naive.run) == pickle.dumps(event.run)
+
+    def test_pickle_round_trip_preserves_views(self):
+        config = random_config(2)
+        sim = run_sim(build_sim(config, engine="event"), config)
+        clone = pickle.loads(pickle.dumps(sim.run))
+        assert clone == sim.run
+        assert list(clone.iter_steps()) == list(sim.run.iter_steps())
+
+
+# ---------------------------------------------------------------------------
+# StepStore unit behaviour: lazy views, sequence protocol, equality.
+# ---------------------------------------------------------------------------
+
+
+def sample_records() -> list[StepRecord]:
+    return [
+        StepRecord(index=0, time=0, pid=0, message=None, fd_value=("leader", 1)),
+        StepRecord(
+            index=1,
+            time=1,
+            pid=1,
+            message=ReceivedMessage(sender=0, payload=("x", 9), send_time=0),
+            fd_value=("leader", 1),
+            inputs=("go",),
+            outputs=(("decide", 1, "v"),),
+            timeout_fired=True,
+            sent=3,
+            received_count=1,
+        ),
+        StepRecord(index=2, time=4, pid=0, message=None, fd_value=None),
+    ]
+
+
+class TestStepStore:
+    def filled(self) -> tuple[StepStore, list[StepRecord]]:
+        records = sample_records()
+        store = StepStore()
+        for record in records:
+            store.append(record)
+        return store, records
+
+    def test_views_round_trip(self):
+        store, records = self.filled()
+        assert list(store) == records
+        assert [store[i] for i in range(len(store))] == records
+        assert store[-1] == records[-1]
+        assert store[1:] == records[1:]
+
+    def test_sequence_protocol(self):
+        store, records = self.filled()
+        assert len(store) == 3
+        assert bool(store)
+        assert not bool(StepStore())
+        with pytest.raises(IndexError):
+            store[3]
+
+    def test_equality_with_list_and_store(self):
+        store, records = self.filled()
+        other, __ = self.filled()
+        assert store == other
+        assert store == records
+        assert records == store
+        assert StepStore() == []
+        assert not store == records[:-1]
+        assert store != [
+            *records[:-1],
+            StepRecord(index=2, time=5, pid=0, message=None, fd_value=None),
+        ]
+
+    def test_append_idle_matches_full_append(self):
+        record = StepRecord(index=7, time=42, pid=2, message=None, fd_value="fd")
+        via_append, via_idle = StepStore(), StepStore()
+        via_append.append(record)
+        via_idle.append_idle(7, 42, 2, "fd")
+        assert via_append == via_idle
+        assert via_idle[0] == record
+
+    def test_fd_interning_shares_equal_samples(self):
+        store = StepStore()
+        store.append_idle(0, 0, 0, ("leader", 1))
+        store.append_idle(1, 1, 1, ("leader", 1))
+        assert store._fd[0] is store._fd[1]
+
+    def test_unhashable_fd_values_stored_raw(self):
+        store = StepStore()
+        sample = {"omega": 1}
+        store.append_idle(0, 0, 0, sample)
+        assert store[0].fd_value == {"omega": 1}
+
+    def test_run_record_column_queries(self):
+        records = sample_records()
+        run = RunRecord(2, FailurePattern.no_failures(2))
+        for record in records:
+            run.record_step(record)
+        assert run.step_times(0) == [0, 4]
+        assert run.step_times(1) == [1]
+        assert run.fd_samples(0) == [(0, ("leader", 1)), (4, None)]
+        assert run.step_count(0) == 2
+        assert [s.index for s in run.steps_of(0)] == [0, 2]
+        assert list(run.iter_steps()) == records
+
+
+# ---------------------------------------------------------------------------
+# Quiescence with never-deliverable mail (permanent partitions).
+# ---------------------------------------------------------------------------
+
+
+class CrossSender(Process):
+    """Sends one message to the opposite process at its first step."""
+
+    def on_start(self, ctx):
+        ctx.send((ctx.pid + 1) % ctx.n, ("hello", ctx.pid))
+
+
+def permanent_split_model() -> PartitionedDelay:
+    return PartitionedDelay(
+        FixedDelay(1),
+        [PartitionWindow(0, None, (frozenset({0}), frozenset({1})))],
+    )
+
+
+class TestQuiescenceUnderPermanentPartition:
+    def test_run_until_quiescent_terminates(self):
+        # Regression: envelopes with deliver_at >= NEVER used to inflate
+        # live_pending, so this loop spun to max_time.
+        sim = Simulation(
+            [CrossSender(), CrossSender()],
+            delay_model=permanent_split_model(),
+            timeout_interval=10_000,
+            record="outputs",
+        )
+        sim.run_until(10)
+        assert sim.network.in_transit() == 2  # both held forever
+        assert sim.network.live_pending == 0
+        sim.run_until_quiescent(max_time=100_000)
+        assert sim.time == 10  # returned immediately, not at max_time
+
+    def test_never_deliverable_excluded_from_live_pending(self):
+        net = Network(2, permanent_split_model())
+        net.send(0, 1, "cross", 0)
+        assert net.in_transit(1) == 1
+        assert net.live_pending == 0
+
+    def test_mark_crashed_with_mixed_mail(self):
+        net = Network(2, permanent_split_model())
+        net.send(0, 1, "cross", 0)  # never deliverable: not live
+        net.send(1, 1, "self", 0)  # same group: deliverable
+        assert net.live_pending == 1
+        net.mark_crashed(1)
+        assert net.live_pending == 0
+        net.send(0, 1, "cross-2", 5)
+        net.send(1, 1, "self-2", 5)
+        assert net.live_pending == 0  # dead receiver: nothing counts

@@ -77,7 +77,9 @@ def random_config(seed: int) -> dict:
     }
 
 
-def build_sim(config: dict, *, engine: str, record: str = "full") -> Simulation:
+def build_sim(
+    config: dict, *, engine: str, record: str = "full", observers=()
+) -> Simulation:
     n = config["n"]
     pattern = FailurePattern.crash(n, config["crashes"])
     detector = OmegaDetector(stabilization_time=config["tau"]).history(
@@ -94,6 +96,7 @@ def build_sim(config: dict, *, engine: str, record: str = "full") -> Simulation:
         message_batch=config["message_batch"],
         engine=engine,
         record=record,
+        observers=observers,
     )
     for pid, t, payload in config["broadcasts"]:
         sim.add_input(pid, t, ("broadcast", payload))

@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.messages import AppMessage, MessageId
 from repro.properties.delivery import extract_timeline
-from repro.sim.context import Context
+from repro.sim.context import (
+    BROADCAST_ALL,
+    BROADCAST_OTHERS,
+    Context,
+    expand_sends,
+)
 from repro.sim.failures import FailurePattern
 from repro.sim.runs import RunRecord, StepRecord
 
@@ -15,15 +20,37 @@ class TestContext:
         with pytest.raises(ValueError):
             ctx.send(5, "x")
 
+    def test_send_all_buffers_one_sentinel_entry(self):
+        ctx = Context(pid=1, n=3, time=0)
+        ctx.send_all("m")
+        assert ctx.drain_outbox() == [(BROADCAST_ALL, "m")]
+
     def test_send_all_includes_self_by_default(self):
         ctx = Context(pid=1, n=3, time=0)
         ctx.send_all("m")
-        assert [r for r, __ in ctx.drain_outbox()] == [0, 1, 2]
+        sends = list(expand_sends(ctx.drain_outbox(), ctx.pid, ctx.n))
+        assert [r for r, __ in sends] == [0, 1, 2]
 
     def test_send_all_exclude_self(self):
         ctx = Context(pid=1, n=3, time=0)
         ctx.send_all("m", include_self=False)
-        assert [r for r, __ in ctx.drain_outbox()] == [0, 2]
+        outbox = ctx.drain_outbox()
+        assert outbox == [(BROADCAST_OTHERS, "m")]
+        assert [r for r, __ in expand_sends(outbox, 1, 3)] == [0, 2]
+
+    def test_expand_sends_preserves_interleaving(self):
+        ctx = Context(pid=0, n=3, time=0)
+        ctx.send(2, "point")
+        ctx.send_all("cast")
+        ctx.send(1, "tail")
+        sends = list(expand_sends(ctx.drain_outbox(), 0, 3))
+        assert sends == [
+            (2, "point"),
+            (0, "cast"),
+            (1, "cast"),
+            (2, "cast"),
+            (1, "tail"),
+        ]
 
     def test_drain_clears_buffers(self):
         ctx = Context(pid=0, n=2, time=0)
