@@ -18,9 +18,10 @@ Measured: wall-clock throughput on a long run (the legacy path additionally
 decays with run length as the GC traverses millions of retained records)
 and peak ``tracemalloc`` bytes on a shorter run (the per-step memory ratio
 is length-independent). Nominal on a dev container: ~2.2x throughput and
-~3.9x lower peak memory; CI fails below the conservative floors
-(single-CPU runners, ~15% timing noise; object sizes vary per Python
-version).
+~3.9x lower peak memory; CI fails below the conservative floors committed
+in ``benchmarks/baselines.json`` (the single source of truth shared with
+``check_bench_floors.py``; single-CPU runners show ~15% timing noise and
+object sizes vary per Python version).
 
 Usage::
 
@@ -34,6 +35,7 @@ import json
 import sys
 import time
 import tracemalloc
+from pathlib import Path
 
 from repro.sim import (
     FailurePattern,
@@ -51,8 +53,10 @@ MEMORY_TICKS = 60_000
 #: interleaved timing trials per path; the best (minimum) time of each is
 #: compared, the standard defense against one-off scheduler interference.
 TRIALS = 3
-REQUIRED_SPEEDUP = 1.4
-REQUIRED_MEMORY_RATIO = 2.5
+#: floors live in baselines.json only, shared with check_bench_floors.py.
+_BASELINES = json.loads(Path(__file__).with_name("baselines.json").read_text())
+REQUIRED_SPEEDUP = _BASELINES["bench_dataplane"]["floors"]["speedup"]
+REQUIRED_MEMORY_RATIO = _BASELINES["bench_dataplane"]["floors"]["memory_ratio"]
 
 
 class Gossip(Process):

@@ -15,13 +15,20 @@ def test_exp3_ec_any_environment(run_once):
 
     assert all(r["ok"] for r in result.rows), result.rows
 
-    by_env = {r["environment"]: r for r in result.rows}
+    by_scenario = {r["scenario"]: r for r in result.rows}
     # Stable-leader runs agree from the very first instance.
-    assert by_env["crash-free n=4"]["k"] == 1
-    assert by_env["minority correct (1/3)"]["k"] == 1
-    assert by_env["single survivor (1/4)"]["k"] == 1
+    assert by_scenario["crash-free n=4"]["k"] == 1
+    assert by_scenario["minority correct (1/3)"]["k"] == 1
+    assert by_scenario["single survivor (1/4)"]["k"] == 1
     # Churny runs stabilize strictly later, around the detector's
     # stabilization time.
-    churn = by_env["crash-free n=4, churn"]
+    churn = by_scenario["crash-free n=4, churn"]
     assert churn["k"] > 1
     assert churn["k_time"] >= 250
+
+
+def test_exp3_holds_under_adversarial_environments(run_once):
+    """The same claim under a heavy-tailed network (the declared env axis)."""
+    result = run_once(exp_ec_any_environment, env="heavy-tail")
+    print("\n" + result.render())
+    assert all(r["ok"] for r in result.rows), result.rows

@@ -97,10 +97,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seeds", type=int, default=2)
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--out", default="bench_wallclock.json")
+    # The default floor lives in baselines.json (single source of truth,
+    # shared with check_bench_floors.py); 0.0 there means report-only.
+    baselines = json.loads(
+        (Path(__file__).with_name("baselines.json")).read_text()
+    )
     parser.add_argument(
         "--min-speedup",
         type=float,
-        default=0.0,
+        default=baselines["bench_report_wallclock"]["floors"]["speedup"],
         help="fail below this packed-vs-sequential speedup (0 = report only)",
     )
     args = parser.parse_args(argv)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI gate: compare fresh benchmark artifacts against the committed floors.
+
+``benchmarks/baselines.json`` is the single source of truth for every
+benchmark floor (the bench scripts themselves load their exit-code floors
+from it — no duplicated constants). This gate re-reads the fresh JSON
+artifacts the bench scripts wrote during the CI run and fails, with a
+readable delta table, when any measured metric sits below its floor or any
+required exact value mismatches::
+
+    python benchmarks/check_bench_floors.py [--baselines benchmarks/baselines.json]
+                                            [--artifact-dir .]
+
+Exit codes: 0 all floors cleared; 1 a floor violated, a required value
+mismatched, or an expected artifact is missing (a bench that silently never
+ran must not pass the gate).
+
+To see the gate fail deliberately, raise any floor in ``baselines.json``
+above its nominal value (e.g. ``smoke_benchmark.floors.speedup`` to 1000)
+and rerun — the delta table flags the metric and the process exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def iter_checks(baselines: dict, artifact_dir: Path):
+    """Yield one check row per (bench, metric): floors then required values.
+
+    Row shape: ``(bench, metric, kind, expected, measured, ok)`` where
+    ``kind`` is ``">="`` for floors and ``"=="`` for required exact values;
+    ``measured`` is None when the artifact is missing or lacks the metric.
+    """
+    for bench, spec in baselines.items():
+        if bench.startswith("_"):
+            continue
+        artifact = artifact_dir / spec["artifact"]
+        fresh: dict | None = None
+        if artifact.is_file():
+            fresh = json.loads(artifact.read_text())
+        else:
+            yield (bench, "(artifact)", "exists", spec["artifact"], None, False)
+        for metric, floor in spec.get("floors", {}).items():
+            measured = None if fresh is None else fresh.get(metric)
+            ok = isinstance(measured, (int, float)) and measured >= floor
+            yield (bench, metric, ">=", floor, measured, ok)
+        for metric, expected in spec.get("require", {}).items():
+            measured = None if fresh is None else fresh.get(metric)
+            yield (bench, metric, "==", expected, measured, measured == expected)
+
+
+def render_table(rows: list[tuple]) -> str:
+    """The delta table: one line per check, floors with their margins."""
+    headers = ("benchmark", "metric", "check", "expected", "measured",
+               "margin", "status")
+    body = []
+    for bench, metric, kind, expected, measured, ok in rows:
+        if kind == ">=" and isinstance(measured, (int, float)):
+            margin = f"{measured - expected:+.2f}"
+        else:
+            margin = "-"
+        body.append(
+            (
+                bench,
+                metric,
+                kind,
+                str(expected),
+                "MISSING" if measured is None else str(measured),
+                margin,
+                "ok" if ok else "FAIL",
+            )
+        )
+    widths = [
+        max([len(headers[i]), *(len(row[i]) for row in body)])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines += [
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in body
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baselines",
+        default=str(Path(__file__).with_name("baselines.json")),
+        help="committed floor definitions (default: benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=".",
+        help="directory holding the fresh bench JSON artifacts (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = json.loads(Path(args.baselines).read_text())
+    rows = list(iter_checks(baselines, Path(args.artifact_dir)))
+    print(render_table(rows))
+    failures = [row for row in rows if not row[5]]
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark floor check(s) failed "
+            f"(floors: {args.baselines})"
+        )
+        return 1
+    print(f"\nOK: all {len(rows)} benchmark floor checks cleared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,29 +4,36 @@
 Runs a reduced version of the sparse-traffic scenario from
 ``bench_engine_fastforward.py`` on both engines and compares step throughput.
 The event engine nominally clears ~10-40x over naive-full on this workload;
-CI fails when the measured speedup drops below ``REQUIRED_SPEEDUP`` (3x),
-i.e. on more than a 2x regression against the worst nominal machines —
-machine-relative, so noisy runners do not flake.
+CI fails when the measured speedup drops below the floor committed in
+``benchmarks/baselines.json`` (the single source of truth for every bench
+floor — see ``check_bench_floors.py``), i.e. on more than a 2x regression
+against the worst nominal machines — machine-relative, so noisy runners do
+not flake.
 
 Also re-checks the fast-forward correctness invariant (byte-identical run
 records across engines) so a miscompiled fast path cannot pass on speed.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/smoke_benchmark.py
+    PYTHONPATH=src python benchmarks/smoke_benchmark.py [--out bench_smoke.json]
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.core import EtobLayer
 from repro.detectors import OmegaDetector
 from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
 
 TICKS = 40_000
-REQUIRED_SPEEDUP = 3.0
+#: floors live in baselines.json only, shared with check_bench_floors.py.
+_BASELINES = json.loads(Path(__file__).with_name("baselines.json").read_text())
+REQUIRED_SPEEDUP = _BASELINES["smoke_benchmark"]["floors"]["speedup"]
 
 
 def build(*, engine: str, record: str) -> Simulation:
@@ -56,6 +63,10 @@ def timed(engine: str, record: str) -> tuple[Simulation, float]:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write results as JSON")
+    args = parser.parse_args()
+
     naive_full, t_naive = timed("naive", "full")
     event_full, _ = timed("event", "full")
     if naive_full.run != event_full.run:
@@ -74,6 +85,22 @@ def main() -> int:
         f"step throughput: naive-full {throughput_naive:,.0f} ticks/s, "
         f"event-metrics {throughput_event:,.0f} ticks/s ({speedup:.1f}x)"
     )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(
+                {
+                    "ticks": TICKS,
+                    "throughput_naive_tps": round(throughput_naive),
+                    "throughput_event_tps": round(throughput_event),
+                    "speedup": round(speedup, 2),
+                    "required_speedup": REQUIRED_SPEEDUP,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.out}")
     if speedup < REQUIRED_SPEEDUP:
         print(
             f"FAIL: engine speedup {speedup:.2f}x below the "

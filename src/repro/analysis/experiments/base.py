@@ -38,6 +38,7 @@ from repro.core.transformations import EcToEtobLayer
 from repro.detectors import CompositeDetector, OmegaDetector, SigmaDetector
 from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
 from repro.sim.errors import ConfigurationError
+from repro.sim.network import DelayModel
 from repro.suite import Axis, Cell, SuiteResult, derive_seed
 
 
@@ -502,10 +503,13 @@ def _run_broadcast_scenario(
     quorum_mode: str = "majority",
     seed: int = 0,
     record: str = "outputs",
+    delay_model: DelayModel | None = None,
 ) -> Simulation:
     """One broadcast-protocol run; records at ``outputs`` fidelity by default
     (every experiment metric below reads the delivery timeline, not the raw
-    step list, so retaining steps would only burn memory)."""
+    step list, so retaining steps would only burn memory). ``delay_model``
+    (e.g. an environment model from :func:`repro.sim.envs.make_env`)
+    overrides the fixed ``delay``-tick links."""
     pattern = FailurePattern.crash(n, crashes or {})
     detector = _detector(
         pattern,
@@ -520,7 +524,7 @@ def _run_broadcast_scenario(
         [factory() for _ in range(n)],
         failure_pattern=pattern,
         detector=detector,
-        delay_model=FixedDelay(delay),
+        delay_model=delay_model or FixedDelay(delay),
         timeout_interval=timeout,
         seed=seed,
         message_batch=4,

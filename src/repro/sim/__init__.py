@@ -12,6 +12,11 @@ The public surface:
 - :class:`~repro.sim.network.Network` with pluggable
   :class:`~repro.sim.network.DelayModel` — reliable links with finite but
   unbounded delays, including partition windows and GST-style partial synchrony.
+- :mod:`repro.sim.envs` — composable, picklable adversarial environment
+  models (heavy-tail / message-age-dependent delays, one-way partitions,
+  flapping and eventually-stable links, node outages, churn waves), named
+  in a registry (:func:`~repro.sim.envs.make_env`) and sweepable as an
+  :class:`~repro.suite.Axis` via :func:`~repro.sim.envs.env_axis`.
 - :class:`~repro.sim.process.Process` and :class:`~repro.sim.context.Context`
   — the automaton interface.
 - :class:`~repro.sim.scheduler.Simulation` — the fair step scheduler producing
@@ -22,8 +27,24 @@ The public surface:
 """
 
 from repro.sim.context import Context
+from repro.sim.envs import (
+    AgeGstDist,
+    EnvBounds,
+    EnvModel,
+    EventuallyStableLinks,
+    FixedDist,
+    FlappingLinks,
+    HeavyTailDist,
+    NodeOutage,
+    OneWayPartition,
+    UniformDist,
+    env_axis,
+    make_env,
+    register_env,
+    registered_envs,
+)
 from repro.sim.errors import ConfigurationError, SimulationError
-from repro.sim.failures import Environment, FailurePattern
+from repro.sim.failures import ChurnSchedule, Environment, FailurePattern
 from repro.sim.network import (
     FixedDelay,
     GstDelay,
@@ -47,11 +68,26 @@ from repro.sim.scheduler import Simulation
 from repro.sim.stack import Layer, LayerContext, ProtocolStack
 
 __all__ = [
+    "AgeGstDist",
+    "ChurnSchedule",
     "ConfigurationError",
     "Context",
+    "EnvBounds",
+    "EnvModel",
     "Environment",
+    "EventuallyStableLinks",
     "FailurePattern",
     "FixedDelay",
+    "FixedDist",
+    "FlappingLinks",
+    "HeavyTailDist",
+    "NodeOutage",
+    "OneWayPartition",
+    "UniformDist",
+    "env_axis",
+    "make_env",
+    "register_env",
+    "registered_envs",
     "FullRecorder",
     "GstDelay",
     "Layer",

@@ -15,7 +15,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
-from repro.sim.types import ProcessId, Time, validate_process_id, validate_time
+from repro.sim.types import (
+    ProcessId,
+    Time,
+    stable_hash,
+    validate_process_id,
+    validate_time,
+)
 
 
 @dataclass(frozen=True)
@@ -105,6 +111,66 @@ class FailurePattern:
             f"p{p}@t{t}" for p, t in sorted(self.crash_times.items())
         )
         return f"n={self.n} crashes={{{crashes}}}"
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """Deterministic crash waves, independent of system size.
+
+    ``waves`` is a sequence of ``(at, count)`` entries: at time ``at``,
+    ``count`` further processes crash, staggered ``stagger`` ticks apart
+    within the wave. :meth:`pattern` renders the schedule over a concrete
+    ``n``: victims are drawn in a counter-based order (a pure function of
+    the seed via :func:`~repro.sim.types.stable_hash`, so the same schedule
+    yields the same pattern on every machine, worker, and rerun), and at
+    least ``min_survivors`` processes never crash — waves that would exceed
+    the budget are truncated, keeping every rendered pattern admissible.
+
+    Crashes stay permanent (``FailurePattern`` is monotone, as in the
+    paper); *recovery* waves are an environment/link phenomenon — see
+    :class:`repro.sim.envs.NodeOutage`.
+    """
+
+    waves: tuple[tuple[Time, int], ...]
+    stagger: Time = 0
+    min_survivors: int = 1
+
+    def __post_init__(self) -> None:
+        waves = tuple((int(at), int(count)) for at, count in self.waves)
+        for at, count in waves:
+            validate_time(at)
+            if count < 1:
+                raise ValueError(f"wave at t={at} must crash >= 1 process")
+        if self.stagger < 0:
+            raise ValueError(f"stagger must be >= 0, got {self.stagger}")
+        if self.min_survivors < 1:
+            raise ValueError(
+                f"min_survivors must be >= 1, got {self.min_survivors}"
+            )
+        object.__setattr__(self, "waves", waves)
+
+    @property
+    def total_crashes(self) -> int:
+        """Crashes the schedule asks for (before the survivor budget)."""
+        return sum(count for __, count in self.waves)
+
+    def pattern(self, n: int, seed: int = 0) -> FailurePattern:
+        """Render the schedule over ``n`` processes as a failure pattern."""
+        if n < 1:
+            raise ValueError(f"need at least one process, got n={n}")
+        victims = sorted(
+            range(n), key=lambda p: (stable_hash("churn-victim", seed, p), p)
+        )
+        budget = max(0, n - self.min_survivors)
+        crash_times: dict[ProcessId, Time] = {}
+        cursor = 0
+        for at, count in sorted(self.waves):
+            for slot in range(count):
+                if cursor >= budget:
+                    return FailurePattern(n, crash_times)
+                crash_times[victims[cursor]] = at + slot * self.stagger
+                cursor += 1
+        return FailurePattern(n, crash_times)
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,21 @@ class Envelope:
 
 
 class DelayModel(Protocol):
-    """Maps a (sender, receiver, send-time) to a strictly positive delay."""
+    """Maps a (sender, receiver, send-time) to a strictly positive delay.
+
+    A model may additionally expose a *vectorized* hook::
+
+        def delay_profile(self, sender, t, receivers) -> list[Time]: ...
+
+    returning one delay per receiver, in receiver order. The batched
+    broadcast path (:meth:`Network.send_all`) uses it when present, so a
+    composed model (see :mod:`repro.sim.envs`) pays one pass per policy
+    layer instead of one nested call chain per receiver. Contract: the
+    profile must equal one :meth:`delay` call per receiver in receiver
+    order — the environment models satisfy it by construction (their draws
+    are counter-based, pure in ``(seed, link, send time)``), and
+    ``tests/test_envs.py`` pins it.
+    """
 
     def delay(self, sender: ProcessId, receiver: ProcessId, t: Time) -> Time:
         """Return the link delay, in ticks, for a message sent at time ``t``."""
@@ -259,10 +273,27 @@ class Network:
 
         One pass over the delay model in receiver order — the same draws, in
         the same order, as ``n`` point-to-point :meth:`send` calls — with the
-        payload shared across envelopes. Every counter is updated as its
+        payload shared across envelopes. A model exposing the vectorized
+        ``delay_profile`` hook (see :class:`DelayModel`) computes the whole
+        broadcast's delays in one batched pass; otherwise the model is
+        queried once per receiver inline. Every counter is updated as its
         envelope is queued, so a delay model raising mid-broadcast leaves
-        the network consistent with the envelopes already sent.
+        the network consistent with the envelopes already sent (a batched
+        profile raises before any envelope is queued).
         """
+        receivers = [
+            r for r in range(self.n) if include_self or r != sender
+        ]
+        profile = getattr(self.delay_model, "delay_profile", None)
+        if profile is not None:
+            delays = profile(sender, t, receivers)
+            if len(delays) != len(receivers):
+                raise ValueError(
+                    f"delay profile returned {len(delays)} delays for "
+                    f"{len(receivers)} receivers"
+                )
+        else:
+            delays = None
         delay_of = self.delay_model.delay
         seq = self._seq
         queues = self._queues
@@ -273,10 +304,10 @@ class Network:
         horizon = self._horizon
         envelopes: list[Envelope] = []
         append = envelopes.append
-        for receiver in range(self.n):
-            if receiver == sender and not include_self:
-                continue
-            delay = delay_of(sender, receiver, t)
+        for position, receiver in enumerate(receivers):
+            delay = delays[position] if delays is not None else delay_of(
+                sender, receiver, t
+            )
             if delay < 1:
                 raise ValueError(
                     f"delay model produced non-positive delay {delay}"

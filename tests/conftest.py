@@ -1,0 +1,36 @@
+"""Shared test configuration: named Hypothesis profiles.
+
+Three profiles, selected by the ``HYPOTHESIS_PROFILE`` environment variable
+(default ``default``):
+
+- ``default`` — Hypothesis' stock behaviour, for local development.
+- ``ci`` — pinned and derandomized for the PR pipeline: example generation
+  is a pure function of the test (``derandomize=True``, the "fixed seed"),
+  wall-clock deadlines are off (shared CI runners stall unpredictably), and
+  failures print their reproduction blob so a red CI run is replayable
+  locally via ``@reproduce_failure``.
+- ``nightly`` — the deep sweep for ``.github/workflows/nightly.yml``:
+  randomized exploration at 4x the default example count, no deadline,
+  print-blob on failure. Per-test ``@settings(max_examples=...)``
+  decorators override the profile where a test pins its own budget.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+)
+settings.register_profile(
+    "nightly",
+    max_examples=400,
+    deadline=None,
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -1,0 +1,396 @@
+"""Property and unit tests for the environment-model subsystem.
+
+Pins the load-bearing properties of :mod:`repro.sim.envs`:
+
+- pickle round-trips are behaviour-preserving (environment-swept cells may
+  cross process boundaries);
+- batched ``send_all`` (and the vectorized ``delay_profile`` hook) draws
+  exactly what ``n`` point-to-point sends draw, per receiver in receiver
+  order, for every registered environment;
+- an environment-swept cell pool produces byte-identical run records across
+  ``workers=0/2`` and both suite backends;
+- policy semantics: one-way holds, flapping holds, per-pair stabilization
+  clamps, outage holds, churn waves render deterministically.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    ChurnSchedule,
+    EnvModel,
+    FixedDelay,
+    Network,
+    Process,
+    Simulation,
+    make_env,
+    registered_envs,
+)
+from repro.sim.envs import (
+    AgeGstDist,
+    EventuallyStableLinks,
+    FixedDist,
+    FlappingLinks,
+    HeavyTailDist,
+    NodeOutage,
+    OneWayPartition,
+    UniformDist,
+    delay_profile_of,
+    env_axis,
+    register_env,
+)
+from repro.sim.errors import ConfigurationError
+from repro.sim.types import NEVER
+from repro.suite import ScenarioSuite
+
+N = 4
+
+env_names = st.sampled_from(registered_envs())
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+times = st.integers(min_value=0, max_value=5000)
+pids = st.integers(min_value=0, max_value=N - 1)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtin_envs_registered(self):
+        names = registered_envs()
+        assert "baseline" in names and "heavy-tail" in names
+        assert len(names) >= 8
+
+    def test_unknown_env_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_env("no-such-environment")
+
+    def test_bad_base_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_env("baseline", base_delay=0)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_env("baseline")(lambda seed, d: None)
+
+    def test_env_axis_defaults_to_all(self):
+        axis = env_axis()
+        assert axis.name == "env"
+        assert list(axis.values) == registered_envs()
+
+    def test_env_axis_validates_names(self):
+        assert env_axis("baseline", "flaky").values == ("baseline", "flaky")
+        with pytest.raises(ConfigurationError):
+            env_axis("baseline", "no-such-environment")
+
+    def test_builder_names_match_registry(self):
+        for name in registered_envs():
+            assert make_env(name, seed=1).name == name
+
+
+# ---------------------------------------------------------------------------
+# pickling and RNG discipline (the tentpole properties)
+# ---------------------------------------------------------------------------
+
+
+class TestPickleRoundTrip:
+    @settings(max_examples=60)
+    @given(name=env_names, seed=seeds, t=times, sender=pids)
+    def test_pickled_model_draws_identical_delays(self, name, seed, t, sender):
+        env = make_env(name, seed=seed, base_delay=2)
+        clone = pickle.loads(pickle.dumps(env))
+        assert clone == env
+        for receiver in range(N):
+            if receiver == sender:
+                continue
+            assert clone.delay.delay(sender, receiver, t) == env.delay.delay(
+                sender, receiver, t
+            )
+
+    def test_envmodel_bundle_roundtrips(self):
+        env = make_env("churn-waves", seed=9)
+        clone = pickle.loads(pickle.dumps(env))
+        assert clone.pattern(5, seed=9) == env.pattern(5, seed=9)
+        assert clone.bounds == env.bounds
+
+
+class TestRngDiscipline:
+    @settings(max_examples=60)
+    @given(name=env_names, seed=seeds, t=times, sender=pids)
+    def test_send_all_matches_n_individual_sends(self, name, seed, t, sender):
+        model = make_env(name, seed=seed, base_delay=2).delay
+        batched = Network(N, model)
+        pointwise = Network(N, model)
+        broadcast = batched.send_all(sender, "payload", t)
+        singles = [
+            pointwise.send(sender, receiver, "payload", t)
+            for receiver in range(N)
+        ]
+        assert [e.deliver_at for e in broadcast] == [
+            e.deliver_at for e in singles
+        ]
+        assert [e.receiver for e in broadcast] == list(range(N))
+
+    @settings(max_examples=60)
+    @given(name=env_names, seed=seeds, t=times, sender=pids)
+    def test_delay_profile_equals_per_receiver_delays(
+        self, name, seed, t, sender
+    ):
+        model = make_env(name, seed=seed, base_delay=2).delay
+        receivers = [r for r in range(N) if r != sender]
+        assert delay_profile_of(model, sender, t, receivers) == [
+            model.delay(sender, r, t) for r in receivers
+        ]
+
+    def test_draws_are_query_order_independent(self):
+        # Counter-based discipline: a message's delay depends only on
+        # (seed, link, send time), never on what else was queried before.
+        model = make_env("heavy-tail", seed=7).delay
+        forward = [model.delay(0, r, 11) for r in range(N)]
+        backward = [model.delay(0, r, 11) for r in reversed(range(N))]
+        assert forward == backward[::-1]
+
+    def test_wrong_length_profile_rejected(self):
+        class BadProfile:
+            def delay(self, sender, receiver, t):
+                return 1
+
+            def delay_profile(self, sender, t, receivers):
+                return [1]  # always too short for n >= 3
+
+        with pytest.raises(ValueError, match="delay profile"):
+            Network(3, BadProfile()).send_all(0, "x", 0)
+
+    def test_legacy_models_without_profile_still_batch(self):
+        # Models lacking the hook take the per-receiver fallback path.
+        network = Network(3, FixedDelay(2))
+        envelopes = network.send_all(0, "x", 5)
+        assert [e.deliver_at for e in envelopes] == [7, 7, 7]
+
+
+# ---------------------------------------------------------------------------
+# suite determinism across workers and backends
+# ---------------------------------------------------------------------------
+
+
+class _Chatter(Process):
+    """Broadcasts on every timeout; enough traffic to exercise the model."""
+
+    def on_timeout(self, ctx):
+        ctx.send_all(("beat", ctx.time), include_self=False)
+
+    def on_message(self, ctx, sender, payload):
+        pass
+
+
+def _env_cell(*, env: str, seed: int) -> bytes:
+    """One suite cell: a short full-fidelity run under the named environment.
+
+    Returns the pickled RunRecord — byte-level comparison catches anything
+    equality might coarsen away.
+    """
+    sim = Simulation(
+        [_Chatter() for _ in range(3)],
+        environment=make_env(env, seed=seed, base_delay=2),
+        timeout_interval=8,
+        seed=seed,
+        record="full",
+    )
+    sim.run_until(400)
+    return pickle.dumps(sim.run)
+
+
+class TestSweptPoolDeterminism:
+    def _suite(self):
+        return (
+            ScenarioSuite(_env_cell, name="env-sweep")
+            .axis(env_axis())
+            .seeds([3, 17])
+        )
+
+    def test_records_identical_across_workers_and_backends(self):
+        reference = self._suite().run(workers=0).values()
+        assert all(isinstance(v, bytes) for v in reference)
+        for workers, backend in ((2, "stream"), (2, "batch")):
+            values = self._suite().run(workers=workers, backend=backend).values()
+            assert values == reference, (workers, backend)
+
+
+# ---------------------------------------------------------------------------
+# model semantics
+# ---------------------------------------------------------------------------
+
+
+class TestDistributions:
+    def test_fixed_dist_validates(self):
+        with pytest.raises(ConfigurationError):
+            FixedDist(0)
+
+    def test_uniform_dist_range(self):
+        model = UniformDist(2, 5, seed=1)
+        delays = {model.delay(0, 1, t) for t in range(400)}
+        assert delays <= set(range(2, 6)) and len(delays) == 4
+
+    def test_heavy_tail_within_lo_cap_and_actually_tailed(self):
+        model = HeavyTailDist(lo=1, alpha=1.4, cap=24, seed=3)
+        delays = [model.delay(0, 1, t) for t in range(3000)]
+        assert min(delays) == 1
+        assert max(delays) == 24  # the truncated tail is reached
+        assert sum(d == 1 for d in delays) > len(delays) / 3  # mostly short
+
+    def test_age_gst_pre_messages_land_by_gst_plus_post(self):
+        model = AgeGstDist(gst=100, pre_max=50, post_delay=2, seed=0)
+        for t in range(100):
+            assert t + model.delay(0, 1, t) <= 100 + 2
+        for t in range(100, 300):
+            assert 1 <= model.delay(0, 1, t) <= 2
+
+
+class TestLinkPolicies:
+    def test_one_way_is_asymmetric(self):
+        model = OneWayPartition(
+            FixedDist(2), edges=((0, 1),), start=10, end=50
+        )
+        assert model.delay(0, 1, 20) == (50 - 20) + 2  # held until heal
+        assert model.delay(1, 0, 20) == 2  # reverse direction unaffected
+        assert model.delay(0, 1, 5) == 2  # before the window
+        assert model.delay(0, 1, 50) == 2  # after the window
+
+    def test_one_way_permanent_returns_never(self):
+        model = OneWayPartition(FixedDist(2), edges=((0, 1),), start=0)
+        assert 20 + model.delay(0, 1, 20) >= NEVER
+
+    def test_one_way_validates(self):
+        with pytest.raises(ConfigurationError):
+            OneWayPartition(FixedDist(1), edges=())
+        with pytest.raises(ConfigurationError):
+            OneWayPartition(FixedDist(1), edges=((1, 1),))
+        with pytest.raises(ConfigurationError):
+            OneWayPartition(FixedDist(1), edges=((0, 1),), start=5, end=5)
+
+    def test_flapping_holds_until_link_up(self):
+        model = FlappingLinks(
+            FixedDist(3), pairs=((0, 1),), period=10, down=4
+        )
+        # t=12 -> position 2 of the period, link down for 2 more ticks.
+        assert model.delay(0, 1, 12) == (4 - 2) + 3
+        assert model.delay(1, 0, 12) == (4 - 2) + 3  # undirected
+        assert model.delay(0, 1, 17) == 3  # up phase
+        assert model.delay(0, 2, 12) == 3  # unlisted pair
+
+    def test_flapping_validates(self):
+        with pytest.raises(ConfigurationError):
+            FlappingLinks(FixedDist(1), pairs=((0, 1),), period=8, down=8)
+        with pytest.raises(ConfigurationError):
+            FlappingLinks(FixedDist(1), pairs=())
+
+    def test_eventually_stable_clamps_and_settles(self):
+        model = EventuallyStableLinks(
+            UniformDist(1, 40, seed=2),
+            post_delay=2,
+            stable_at=(((0, 1), 100),),
+            seed=2,
+        )
+        for t in range(100):  # pre-stabilization: lands by stable_at + post
+            assert t + model.delay(0, 1, t) <= 100 + 2
+        for t in range(100, 200):  # post-stabilization: bounded by post
+            assert 1 <= model.delay(0, 1, t) <= 2
+        assert 1 <= model.delay(2, 3, 0) <= 2  # default stabilizes at 0
+
+    def test_outage_holds_messages_of_listed_pids(self):
+        model = NodeOutage(
+            FixedDist(2), pids=(1,), windows=((10, 30), (50, 60))
+        )
+        assert model.delay(0, 1, 15) == (30 - 15) + 2  # to the dark node
+        assert model.delay(1, 2, 55) == (60 - 55) + 2  # from the dark node
+        assert model.delay(0, 2, 15) == 2  # bystanders unaffected
+        assert model.delay(0, 1, 40) == 2  # between windows
+
+    def test_outage_requires_recovery(self):
+        with pytest.raises(ConfigurationError):
+            NodeOutage(FixedDist(1), pids=(0,), windows=((10, 10),))
+        with pytest.raises(ConfigurationError):
+            NodeOutage(FixedDist(1), pids=(), windows=((0, 5),))
+
+
+class TestChurnSchedule:
+    def test_waves_render_deterministically(self):
+        schedule = ChurnSchedule(waves=((50, 2), (200, 1)), stagger=5)
+        first = schedule.pattern(6, seed=4)
+        assert first == schedule.pattern(6, seed=4)
+        assert len(first.faulty) == 3
+        assert sorted(first.crash_times.values()) == [50, 55, 200]
+
+    def test_different_seeds_pick_different_victims(self):
+        schedule = ChurnSchedule(waves=((10, 2),))
+        patterns = {schedule.pattern(8, seed=s).faulty for s in range(8)}
+        assert len(patterns) > 1
+
+    def test_min_survivors_truncates_waves(self):
+        schedule = ChurnSchedule(waves=((10, 99),), min_survivors=2)
+        pattern = schedule.pattern(5, seed=0)
+        assert len(pattern.correct) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSchedule(waves=((10, 0),))
+        with pytest.raises(ValueError):
+            ChurnSchedule(waves=((10, 1),), min_survivors=0)
+        with pytest.raises(ValueError):
+            ChurnSchedule(waves=((10, 1),), stagger=-1)
+
+
+class TestSimulationEnvironmentHook:
+    def test_environment_supplies_delay_and_churn(self):
+        env = make_env("churn-waves", seed=6)
+        sim = Simulation([_Chatter() for _ in range(4)], environment=env, seed=6)
+        assert sim.network.delay_model is env.delay
+        assert sim.failure_pattern == env.pattern(4, seed=6)
+        assert sim.failure_pattern.faulty  # the waves really crashed someone
+
+    def test_explicit_pattern_wins_over_churn(self):
+        from repro.sim import FailurePattern
+
+        env = make_env("churn-waves", seed=6)
+        pattern = FailurePattern.no_failures(4)
+        sim = Simulation(
+            [_Chatter() for _ in range(4)],
+            environment=env,
+            failure_pattern=pattern,
+            seed=6,
+        )
+        assert sim.failure_pattern == pattern
+
+    def test_environment_conflicts_rejected(self):
+        env = make_env("baseline")
+        with pytest.raises(ConfigurationError):
+            Simulation(
+                [_Chatter()], environment=env, delay_model=FixedDelay(1)
+            )
+        with pytest.raises(ConfigurationError):
+            Simulation(
+                [_Chatter()], environment=env, network=Network(1, FixedDelay(1))
+            )
+        with pytest.raises(ConfigurationError):
+            Simulation([_Chatter()], environment="baseline")
+
+    def test_environment_runs_under_both_engines_identically(self):
+        def run(engine):
+            sim = Simulation(
+                [_Chatter() for _ in range(3)],
+                environment=make_env("flaky", seed=2),
+                timeout_interval=8,
+                seed=2,
+                engine=engine,
+                record="full",
+            )
+            sim.run_until(600)
+            return sim.run
+
+        assert run("event") == run("naive")
