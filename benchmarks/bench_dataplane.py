@@ -1,31 +1,41 @@
 #!/usr/bin/env python3
-"""CI data-plane benchmark: dense-run full-fidelity floor for the columnar
-step store vs the legacy per-step records.
+"""CI data-plane benchmark: dense-run full-fidelity floors for the columnar
+step store and the packed struct-of-arrays kernel.
 
 The scenario is a saturated gossip mesh: every process broadcasts on each
 local timeout, tuned so a message is deliverable on most ticks — the
 message-dense regime the paper's statistical experiments live in, and the
-worst case for full-fidelity recording (every tick retains a step). Two
-recording paths run the *same* trajectory (asserted byte-identical):
+worst case for full-fidelity recording (every tick retains a step). Four
+paths run the *same* trajectory (asserted byte-identical):
 
-- **columnar** — ``record="full"``: the engine's raw/idle fast paths append
-  into :class:`repro.sim.runs.StepStore` columns; no per-step objects.
-- **legacy** — :class:`repro.sim.observers.LegacyFullRecorder`: one
-  ``StepRecord`` dataclass per tick retained in a plain list, the
-  pre-refactor data plane.
+- **legacy** — :class:`repro.sim.observers.LegacyFullRecorder` over the
+  legacy queue-of-Envelopes network: one ``StepRecord`` dataclass per tick
+  retained in a plain list, the pre-PR-4 data plane and the benchmark's
+  fixed denominator.
+- **columnar** — ``record="full"`` on ``kernel="legacy"``: the engine's
+  raw/idle fast paths append into :class:`repro.sim.runs.StepStore`
+  columns; no per-step objects (the PR 4 data plane, floor ``speedup``).
+- **packed** — ``record="full"`` on ``kernel="packed"``: the struct-of-
+  arrays envelope pool with per-receiver shard heaps and the fused
+  dense-tick loop (floor ``packed_speedup``).
+- **compiled** — same, with the pool hosted by the optional C extension
+  (``kernel="compiled"``; reported as ``compiled_speedup`` but not gated —
+  it is skipped silently when the extension is not built, unless
+  ``--require-compiled``).
 
 Measured: wall-clock throughput on a long run (the legacy path additionally
 decays with run length as the GC traverses millions of retained records)
 and peak ``tracemalloc`` bytes on a shorter run (the per-step memory ratio
-is length-independent). Nominal on a dev container: ~2.2x throughput and
-~3.9x lower peak memory; CI fails below the conservative floors committed
-in ``benchmarks/baselines.json`` (the single source of truth shared with
-``check_bench_floors.py``; single-CPU runners show ~15% timing noise and
-object sizes vary per Python version).
+is length-independent). Nominal on a dev container: ~2.1x columnar and
+~3.7x packed throughput, ~3.9x lower peak memory; CI fails below the
+conservative floors committed in ``benchmarks/baselines.json`` (the single
+source of truth shared with ``check_bench_floors.py``; single-CPU runners
+show ~15% timing noise and object sizes vary per Python version).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_dataplane.py [--ticks N] [--out FILE]
+                                                        [--require-compiled]
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ import tracemalloc
 from pathlib import Path
 
 from repro.sim import (
+    HAS_COMPILED,
     FailurePattern,
     FixedDelay,
     LegacyFullRecorder,
@@ -56,6 +67,9 @@ TRIALS = 3
 #: floors live in baselines.json only, shared with check_bench_floors.py.
 _BASELINES = json.loads(Path(__file__).with_name("baselines.json").read_text())
 REQUIRED_SPEEDUP = _BASELINES["bench_dataplane"]["floors"]["speedup"]
+REQUIRED_PACKED_SPEEDUP = (
+    _BASELINES["bench_dataplane"]["floors"]["packed_speedup"]
+)
 REQUIRED_MEMORY_RATIO = _BASELINES["bench_dataplane"]["floors"]["memory_ratio"]
 
 
@@ -69,39 +83,44 @@ class Gossip(Process):
         pass
 
 
-def build(recording: str) -> tuple[Simulation, RunRecord]:
+def build(path: str) -> tuple[Simulation, RunRecord]:
     """A simulation plus the run record its recording path fills."""
-    if recording == "columnar":
+    if path == "legacy":
+        legacy_run = RunRecord(
+            N, FailurePattern.no_failures(N), steps=[], seed=0
+        )
         sim = Simulation(
             [Gossip() for _ in range(N)],
             delay_model=FixedDelay(2),
             timeout_interval=TIMEOUT_INTERVAL,
             seed=0,
-            record="full",
+            record="none",
+            kernel="legacy",
+            observers=[LegacyFullRecorder(legacy_run)],
         )
-        return sim, sim.run
-    legacy_run = RunRecord(N, FailurePattern.no_failures(N), steps=[], seed=0)
+        return sim, legacy_run
+    kernel = "legacy" if path == "columnar" else path
     sim = Simulation(
         [Gossip() for _ in range(N)],
         delay_model=FixedDelay(2),
         timeout_interval=TIMEOUT_INTERVAL,
         seed=0,
-        record="none",
-        observers=[LegacyFullRecorder(legacy_run)],
+        record="full",
+        kernel=kernel,
     )
-    return sim, legacy_run
+    return sim, sim.run
 
 
-def timed_run(recording: str, ticks: int) -> tuple[Simulation, RunRecord, float]:
-    sim, run = build(recording)
+def timed_run(path: str, ticks: int) -> tuple[Simulation, RunRecord, float]:
+    sim, run = build(path)
     start = time.perf_counter()
     sim.run_until(ticks)
     return sim, run, time.perf_counter() - start
 
 
-def peak_memory(recording: str, ticks: int) -> int:
+def peak_memory(path: str, ticks: int) -> int:
     tracemalloc.start()
-    sim, __ = build(recording)
+    sim, __ = build(path)
     sim.run_until(ticks)
     __, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -113,32 +132,59 @@ def main() -> int:
     parser.add_argument("--ticks", type=int, default=WALLCLOCK_TICKS)
     parser.add_argument("--memory-ticks", type=int, default=MEMORY_TICKS)
     parser.add_argument("--out", default=None, help="write results as JSON")
+    parser.add_argument(
+        "--require-compiled",
+        action="store_true",
+        help="fail instead of skipping when the C extension is not built "
+        "(the CI compiled-kernel leg must not silently measure nothing)",
+    )
     args = parser.parse_args()
 
-    # Interleaved trials; the first pair doubles as the correctness gate.
-    times = {"columnar": [], "legacy": []}
-    columnar_sim = None
-    for trial in range(TRIALS):
-        columnar_sim, columnar_run, t_columnar = timed_run("columnar", args.ticks)
-        legacy_sim, legacy_run, t_legacy = timed_run("legacy", args.ticks)
-        times["columnar"].append(t_columnar)
-        times["legacy"].append(t_legacy)
-        if trial == 0:
-            if columnar_run != legacy_run:
-                print(
-                    "FAIL: columnar run record diverged from the legacy recorder"
-                )
-                return 1
-            if (
-                columnar_sim.network.delivered_count
-                != legacy_sim.network.delivered_count
-            ):
-                print("FAIL: recording paths observed different traffic")
-                return 1
+    if args.require_compiled and not HAS_COMPILED:
+        print(
+            "FAIL: --require-compiled but repro.sim._ckernel is not built; "
+            "run `python setup.py build_ext --inplace`"
+        )
+        return 1
+    paths = ["legacy", "columnar", "packed"]
+    if HAS_COMPILED:
+        paths.append("compiled")
 
-    throughput_columnar = args.ticks / min(times["columnar"])
-    throughput_legacy = args.ticks / min(times["legacy"])
-    speedup = throughput_columnar / throughput_legacy
+    # Interleaved trials; the first round doubles as the correctness gate:
+    # every path must produce a byte-identical run record and see the same
+    # traffic (the differential oracle for the kernel data planes).
+    times: dict[str, list[float]] = {path: [] for path in paths}
+    sims: dict[str, Simulation] = {}
+    runs: dict[str, RunRecord] = {}
+    for trial in range(TRIALS):
+        for path in paths:
+            sims[path], runs[path], elapsed = timed_run(path, args.ticks)
+            times[path].append(elapsed)
+        if trial == 0:
+            reference = runs["legacy"]
+            delivered = sims["legacy"].network.delivered_count
+            for path in paths[1:]:
+                if runs[path] != reference:
+                    print(
+                        f"FAIL: {path} run record diverged from the legacy "
+                        "recorder"
+                    )
+                    return 1
+                if sims[path].network.delivered_count != delivered:
+                    print(
+                        f"FAIL: {path} path observed different traffic than "
+                        "the legacy recorder"
+                    )
+                    return 1
+
+    throughput = {path: args.ticks / min(times[path]) for path in paths}
+    speedup = throughput["columnar"] / throughput["legacy"]
+    packed_speedup = throughput["packed"] / throughput["legacy"]
+    compiled_speedup = (
+        throughput["compiled"] / throughput["legacy"]
+        if "compiled" in throughput
+        else None
+    )
 
     peak_columnar = peak_memory("columnar", args.memory_ticks)
     peak_legacy = peak_memory("legacy", args.memory_ticks)
@@ -146,23 +192,41 @@ def main() -> int:
 
     results = {
         "ticks": args.ticks,
-        "messages_delivered": columnar_sim.network.delivered_count,
-        "steps_recorded": len(columnar_run.steps),
-        "throughput_columnar_tps": round(throughput_columnar),
-        "throughput_legacy_tps": round(throughput_legacy),
+        "messages_delivered": sims["packed"].network.delivered_count,
+        "steps_recorded": len(runs["packed"].steps),
+        "throughput_legacy_tps": round(throughput["legacy"]),
+        "throughput_columnar_tps": round(throughput["columnar"]),
+        "throughput_packed_tps": round(throughput["packed"]),
+        "throughput_compiled_tps": (
+            round(throughput["compiled"]) if "compiled" in throughput else None
+        ),
         "speedup": round(speedup, 2),
+        "packed_speedup": round(packed_speedup, 2),
+        "compiled_speedup": (
+            round(compiled_speedup, 2) if compiled_speedup else None
+        ),
         "memory_ticks": args.memory_ticks,
         "peak_bytes_columnar": peak_columnar,
         "peak_bytes_legacy": peak_legacy,
         "memory_ratio": round(memory_ratio, 2),
         "required_speedup": REQUIRED_SPEEDUP,
+        "required_packed_speedup": REQUIRED_PACKED_SPEEDUP,
         "required_memory_ratio": REQUIRED_MEMORY_RATIO,
     }
     print(
         f"dense full-fidelity run ({args.ticks:,} ticks, "
-        f"{results['messages_delivered']:,} messages): "
-        f"columnar {throughput_columnar:,.0f} ticks/s vs legacy "
-        f"{throughput_legacy:,.0f} ticks/s ({speedup:.2f}x)"
+        f"{results['messages_delivered']:,} messages), throughput vs the "
+        f"legacy recorder at {throughput['legacy']:,.0f} ticks/s:"
+    )
+    print(
+        f"  columnar {throughput['columnar']:,.0f} ticks/s ({speedup:.2f}x), "
+        f"packed {throughput['packed']:,.0f} ticks/s ({packed_speedup:.2f}x)"
+        + (
+            f", compiled {throughput['compiled']:,.0f} ticks/s "
+            f"({compiled_speedup:.2f}x)"
+            if compiled_speedup
+            else "  [compiled kernel not built]"
+        )
     )
     print(
         f"peak recording memory ({args.memory_ticks:,} ticks): "
@@ -177,8 +241,14 @@ def main() -> int:
     failed = False
     if speedup < REQUIRED_SPEEDUP:
         print(
-            f"FAIL: throughput speedup {speedup:.2f}x below the "
+            f"FAIL: columnar speedup {speedup:.2f}x below the "
             f"{REQUIRED_SPEEDUP}x floor"
+        )
+        failed = True
+    if packed_speedup < REQUIRED_PACKED_SPEEDUP:
+        print(
+            f"FAIL: packed-kernel speedup {packed_speedup:.2f}x below the "
+            f"{REQUIRED_PACKED_SPEEDUP}x floor"
         )
         failed = True
     if memory_ratio < REQUIRED_MEMORY_RATIO:

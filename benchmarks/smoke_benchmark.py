@@ -28,7 +28,13 @@ from pathlib import Path
 
 from repro.core import EtobLayer
 from repro.detectors import OmegaDetector
-from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+from repro.sim import (
+    KERNELS,
+    FailurePattern,
+    FixedDelay,
+    ProtocolStack,
+    Simulation,
+)
 
 TICKS = 40_000
 #: floors live in baselines.json only, shared with check_bench_floors.py.
@@ -36,7 +42,7 @@ _BASELINES = json.loads(Path(__file__).with_name("baselines.json").read_text())
 REQUIRED_SPEEDUP = _BASELINES["smoke_benchmark"]["floors"]["speedup"]
 
 
-def build(*, engine: str, record: str) -> Simulation:
+def build(*, engine: str, record: str, kernel: str) -> Simulation:
     n = 4
     pattern = FailurePattern.crash(n, {3: 30_000})
     detector = OmegaDetector(stabilization_time=0).history(pattern, seed=1)
@@ -49,14 +55,15 @@ def build(*, engine: str, record: str) -> Simulation:
         seed=1,
         engine=engine,
         record=record,
+        kernel=kernel,
     )
     sim.add_input(1, 100, ("broadcast", "a"))
     sim.add_input(2, 20_000, ("broadcast", "b"))
     return sim
 
 
-def timed(engine: str, record: str) -> tuple[Simulation, float]:
-    sim = build(engine=engine, record=record)
+def timed(engine: str, record: str, kernel: str) -> tuple[Simulation, float]:
+    sim = build(engine=engine, record=record, kernel=kernel)
     start = time.perf_counter()
     sim.run_until(TICKS)
     return sim, time.perf_counter() - start
@@ -65,15 +72,21 @@ def timed(engine: str, record: str) -> tuple[Simulation, float]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None, help="write results as JSON")
+    parser.add_argument(
+        "--kernel",
+        default="packed",
+        choices=KERNELS,
+        help="data-plane kernel for every measured run (default: packed)",
+    )
     args = parser.parse_args()
 
-    naive_full, t_naive = timed("naive", "full")
-    event_full, _ = timed("event", "full")
+    naive_full, t_naive = timed("naive", "full", args.kernel)
+    event_full, _ = timed("event", "full", args.kernel)
     if naive_full.run != event_full.run:
         print("FAIL: event engine run record diverged from the naive stepper")
         return 1
 
-    event_metrics, t_event = timed("event", "metrics")
+    event_metrics, t_event = timed("event", "metrics", args.kernel)
     if event_metrics.network.sent_count != naive_full.network.sent_count:
         print("FAIL: metrics-fidelity run diverged (traffic count mismatch)")
         return 1
@@ -90,6 +103,7 @@ def main() -> int:
             json.dumps(
                 {
                     "ticks": TICKS,
+                    "kernel": args.kernel,
                     "throughput_naive_tps": round(throughput_naive),
                     "throughput_event_tps": round(throughput_event),
                     "speedup": round(speedup, 2),

@@ -72,6 +72,7 @@ class Scenario:
         self._inputs: list[tuple[ProcessId, Time, Any]] = []
         self._quorum_mode = "majority"
         self._engine = "event"
+        self._kernel = "packed"
         self._record = "full"
         self._observers: list[SimObserver] = []
 
@@ -160,6 +161,13 @@ class Scenario:
     def engine(self, engine: str) -> "Scenario":
         """Select the stepping engine: ``"event"`` (default) or ``"naive"``."""
         self._engine = engine
+        return self
+
+    def kernel(self, kernel: str) -> "Scenario":
+        """Select the data plane: ``"packed"`` (default), ``"legacy"``, or
+        ``"compiled"`` (requires the built C extension; see
+        :mod:`repro.sim.kernel`)."""
+        self._kernel = kernel
         return self
 
     def record(self, level: str) -> "Scenario":
@@ -304,6 +312,7 @@ class Scenario:
             scheduling=self._scheduling,
             message_batch=self._message_batch,
             engine=self._engine,
+            kernel=self._kernel,
             record=self._record,
             observers=tuple(self._observers),
         )

@@ -45,7 +45,15 @@ from repro.sim.envs import (
 )
 from repro.sim.errors import ConfigurationError, SimulationError
 from repro.sim.failures import ChurnSchedule, Environment, FailurePattern
+from repro.sim.kernel import (
+    HAS_COMPILED,
+    KERNELS,
+    CompiledPackedNetwork,
+    PackedNetwork,
+    make_network,
+)
 from repro.sim.network import (
+    DEFAULT_COMPACT_FACTOR,
     FixedDelay,
     GstDelay,
     Network,
@@ -70,8 +78,14 @@ from repro.sim.stack import Layer, LayerContext, ProtocolStack
 __all__ = [
     "AgeGstDist",
     "ChurnSchedule",
+    "CompiledPackedNetwork",
     "ConfigurationError",
     "Context",
+    "DEFAULT_COMPACT_FACTOR",
+    "HAS_COMPILED",
+    "KERNELS",
+    "PackedNetwork",
+    "make_network",
     "EnvBounds",
     "EnvModel",
     "Environment",

@@ -1,0 +1,462 @@
+/* Packed struct-of-arrays envelope pool for the dense-tick sim kernel.
+ *
+ * This module hosts only the storage layer of the data plane: the slot
+ * columns (deliver_at, seq, sender, send_time, payload), the free list,
+ * and the per-receiver shard heaps ordered by (deliver_at, seq).  The
+ * merge layer -- `_next_at`, the global horizon heap, live/pending
+ * counters -- stays in Python (see CompiledPackedNetwork in kernel.py)
+ * so every kernel presents identical state to the event engine.
+ *
+ * Invariants shared with the pure-Python PackedNetwork:
+ *   - seq fits in 40 bits, slot index in 24 (enforced by the caller for
+ *     seq; slot growth is bounded here).
+ *   - deliver_at < 2**63 always (NEVER is 2**62 and delays are bounded
+ *     by the caller), so plain int64 comparisons order the heap.
+ *   - pop_due() reports the receiver's next head deliver_at (or -1) so
+ *     the Python side can maintain its horizon index without a peek
+ *     round-trip.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <string.h>
+
+#define SLOT_LIMIT (1 << 24)
+
+typedef struct {
+    int32_t *items;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+} Shard;
+
+typedef struct {
+    PyObject_HEAD
+    Py_ssize_t n;          /* number of receivers / shards */
+    Py_ssize_t cap;        /* allocated column capacity */
+    Py_ssize_t used;       /* high-water slot count */
+    int64_t *col_deliver;
+    int64_t *col_seq;
+    int64_t *col_send_time;
+    int32_t *col_sender;
+    PyObject **col_payload; /* owned refs; NULL for free slots */
+    int32_t *free_stack;
+    Py_ssize_t free_top;    /* number of entries on the free stack */
+    Shard *shards;
+} PoolObject;
+
+/* -- shard heap ordered by (deliver_at, seq) ----------------------------- */
+
+static inline int
+slot_less(PoolObject *self, int32_t a, int32_t b)
+{
+    int64_t da = self->col_deliver[a], db = self->col_deliver[b];
+    if (da != db)
+        return da < db;
+    return self->col_seq[a] < self->col_seq[b];
+}
+
+static int
+shard_push(PoolObject *self, Shard *shard, int32_t slot)
+{
+    if (shard->len == shard->cap) {
+        Py_ssize_t new_cap = shard->cap ? shard->cap * 2 : 8;
+        int32_t *items = PyMem_Realloc(shard->items,
+                                       new_cap * sizeof(int32_t));
+        if (items == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        shard->items = items;
+        shard->cap = new_cap;
+    }
+    Py_ssize_t pos = shard->len++;
+    int32_t *heap = shard->items;
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!slot_less(self, slot, heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = slot;
+    return 0;
+}
+
+static int32_t
+shard_pop(PoolObject *self, Shard *shard)
+{
+    int32_t *heap = shard->items;
+    int32_t top = heap[0];
+    Py_ssize_t len = --shard->len;
+    if (len > 0) {
+        int32_t last = heap[len];
+        Py_ssize_t pos = 0;
+        Py_ssize_t child = 1;
+        while (child < len) {
+            if (child + 1 < len && slot_less(self, heap[child + 1],
+                                             heap[child]))
+                child += 1;
+            if (!slot_less(self, heap[child], last))
+                break;
+            heap[pos] = heap[child];
+            pos = child;
+            child = 2 * pos + 1;
+        }
+        heap[pos] = last;
+    }
+    return top;
+}
+
+/* -- slot allocation ----------------------------------------------------- */
+
+static int32_t
+pool_alloc_slot(PoolObject *self)
+{
+    if (self->free_top > 0)
+        return self->free_stack[--self->free_top];
+    if (self->used == self->cap) {
+        Py_ssize_t new_cap = self->cap ? self->cap * 2 : 64;
+        if (new_cap > SLOT_LIMIT)
+            new_cap = SLOT_LIMIT;
+        if (new_cap <= self->used) {
+            PyErr_SetString(PyExc_OverflowError,
+                            "packed pool exhausted the 24-bit slot space");
+            return -1;
+        }
+        int64_t *deliver = PyMem_Realloc(self->col_deliver,
+                                         new_cap * sizeof(int64_t));
+        if (deliver == NULL) goto nomem;
+        self->col_deliver = deliver;
+        int64_t *seq = PyMem_Realloc(self->col_seq,
+                                     new_cap * sizeof(int64_t));
+        if (seq == NULL) goto nomem;
+        self->col_seq = seq;
+        int64_t *send_time = PyMem_Realloc(self->col_send_time,
+                                           new_cap * sizeof(int64_t));
+        if (send_time == NULL) goto nomem;
+        self->col_send_time = send_time;
+        int32_t *sender = PyMem_Realloc(self->col_sender,
+                                        new_cap * sizeof(int32_t));
+        if (sender == NULL) goto nomem;
+        self->col_sender = sender;
+        PyObject **payload = PyMem_Realloc(self->col_payload,
+                                           new_cap * sizeof(PyObject *));
+        if (payload == NULL) goto nomem;
+        memset(payload + self->cap, 0,
+               (new_cap - self->cap) * sizeof(PyObject *));
+        self->col_payload = payload;
+        int32_t *free_stack = PyMem_Realloc(self->free_stack,
+                                            new_cap * sizeof(int32_t));
+        if (free_stack == NULL) goto nomem;
+        self->free_stack = free_stack;
+        self->cap = new_cap;
+    }
+    return (int32_t)self->used++;
+nomem:
+    PyErr_NoMemory();
+    return -1;
+}
+
+static inline void
+pool_fill_slot(PoolObject *self, int32_t slot, int64_t deliver_at,
+               int64_t seq, int32_t sender, int64_t send_time,
+               PyObject *payload)
+{
+    self->col_deliver[slot] = deliver_at;
+    self->col_seq[slot] = seq;
+    self->col_sender[slot] = sender;
+    self->col_send_time[slot] = send_time;
+    Py_INCREF(payload);
+    self->col_payload[slot] = payload;
+}
+
+/* -- type machinery ------------------------------------------------------ */
+
+static PyObject *
+Pool_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    Py_ssize_t n;
+    static char *kwlist[] = {"n", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "n", kwlist, &n))
+        return NULL;
+    if (n < 1) {
+        PyErr_SetString(PyExc_ValueError, "pool needs at least one receiver");
+        return NULL;
+    }
+    PoolObject *self = (PoolObject *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->n = n;
+    self->shards = PyMem_Calloc(n, sizeof(Shard));
+    if (self->shards == NULL) {
+        Py_DECREF(self);
+        return PyErr_NoMemory();
+    }
+    return (PyObject *)self;
+}
+
+static int
+Pool_traverse(PoolObject *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->used; i++)
+        Py_VISIT(self->col_payload[i]);
+    return 0;
+}
+
+static int
+Pool_clear(PoolObject *self)
+{
+    for (Py_ssize_t i = 0; i < self->used; i++)
+        Py_CLEAR(self->col_payload[i]);
+    return 0;
+}
+
+static void
+Pool_dealloc(PoolObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Pool_clear(self);
+    PyMem_Free(self->col_deliver);
+    PyMem_Free(self->col_seq);
+    PyMem_Free(self->col_send_time);
+    PyMem_Free(self->col_sender);
+    PyMem_Free(self->col_payload);
+    PyMem_Free(self->free_stack);
+    if (self->shards != NULL) {
+        for (Py_ssize_t i = 0; i < self->n; i++)
+            PyMem_Free(self->shards[i].items);
+        PyMem_Free(self->shards);
+    }
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* -- methods ------------------------------------------------------------- */
+
+static PyObject *
+Pool_push(PoolObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 6) {
+        PyErr_SetString(PyExc_TypeError,
+                        "push(receiver, deliver_at, seq, sender, send_time, "
+                        "payload)");
+        return NULL;
+    }
+    Py_ssize_t receiver = PyLong_AsSsize_t(args[0]);
+    int64_t deliver_at = PyLong_AsLongLong(args[1]);
+    int64_t seq = PyLong_AsLongLong(args[2]);
+    long sender = PyLong_AsLong(args[3]);
+    int64_t send_time = PyLong_AsLongLong(args[4]);
+    if (PyErr_Occurred())
+        return NULL;
+    if (receiver < 0 || receiver >= self->n) {
+        PyErr_Format(PyExc_IndexError, "receiver %zd out of range", receiver);
+        return NULL;
+    }
+    int32_t slot = pool_alloc_slot(self);
+    if (slot < 0)
+        return NULL;
+    pool_fill_slot(self, slot, deliver_at, seq, (int32_t)sender, send_time,
+                   args[5]);
+    if (shard_push(self, &self->shards[receiver], slot) < 0) {
+        /* roll the slot back onto the free list */
+        Py_CLEAR(self->col_payload[slot]);
+        self->free_stack[self->free_top++] = slot;
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Pool_push_many(PoolObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 6) {
+        PyErr_SetString(PyExc_TypeError,
+                        "push_many(sender, send_time, seq0, receivers, "
+                        "deliver_ats, payload)");
+        return NULL;
+    }
+    long sender = PyLong_AsLong(args[0]);
+    int64_t send_time = PyLong_AsLongLong(args[1]);
+    int64_t seq0 = PyLong_AsLongLong(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    PyObject *receivers = PySequence_Fast(args[3], "receivers must be a "
+                                          "sequence");
+    if (receivers == NULL)
+        return NULL;
+    PyObject *deliver_ats = PySequence_Fast(args[4], "deliver_ats must be a "
+                                            "sequence");
+    if (deliver_ats == NULL) {
+        Py_DECREF(receivers);
+        return NULL;
+    }
+    Py_ssize_t count = PySequence_Fast_GET_SIZE(receivers);
+    if (PySequence_Fast_GET_SIZE(deliver_ats) != count) {
+        PyErr_SetString(PyExc_ValueError,
+                        "receivers and deliver_ats differ in length");
+        goto fail;
+    }
+    PyObject **recv_items = PySequence_Fast_ITEMS(receivers);
+    PyObject **at_items = PySequence_Fast_ITEMS(deliver_ats);
+    PyObject *payload = args[5];
+    for (Py_ssize_t i = 0; i < count; i++) {
+        Py_ssize_t receiver = PyLong_AsSsize_t(recv_items[i]);
+        int64_t deliver_at = PyLong_AsLongLong(at_items[i]);
+        if (PyErr_Occurred())
+            goto fail;
+        if (receiver < 0 || receiver >= self->n) {
+            PyErr_Format(PyExc_IndexError, "receiver %zd out of range",
+                         receiver);
+            goto fail;
+        }
+        int32_t slot = pool_alloc_slot(self);
+        if (slot < 0)
+            goto fail;
+        pool_fill_slot(self, slot, deliver_at, seq0 + i, (int32_t)sender,
+                       send_time, payload);
+        if (shard_push(self, &self->shards[receiver], slot) < 0) {
+            Py_CLEAR(self->col_payload[slot]);
+            self->free_stack[self->free_top++] = slot;
+            goto fail;
+        }
+    }
+    Py_DECREF(receivers);
+    Py_DECREF(deliver_ats);
+    Py_RETURN_NONE;
+fail:
+    Py_DECREF(receivers);
+    Py_DECREF(deliver_ats);
+    return NULL;
+}
+
+static PyObject *
+Pool_pop_due(PoolObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "pop_due(receiver, t)");
+        return NULL;
+    }
+    Py_ssize_t receiver = PyLong_AsSsize_t(args[0]);
+    int64_t t = PyLong_AsLongLong(args[1]);
+    if (PyErr_Occurred())
+        return NULL;
+    if (receiver < 0 || receiver >= self->n) {
+        PyErr_Format(PyExc_IndexError, "receiver %zd out of range", receiver);
+        return NULL;
+    }
+    Shard *shard = &self->shards[receiver];
+    if (shard->len == 0)
+        Py_RETURN_NONE;
+    int32_t head = shard->items[0];
+    if (self->col_deliver[head] > t)
+        Py_RETURN_NONE;
+    int32_t slot = shard_pop(self, shard);
+    int64_t new_head = shard->len ? self->col_deliver[shard->items[0]] : -1;
+    PyObject *payload = self->col_payload[slot];  /* steal the slot's ref */
+    self->col_payload[slot] = NULL;
+    self->free_stack[self->free_top++] = slot;
+    PyObject *result = Py_BuildValue(
+        "LLlLNL",
+        (long long)self->col_deliver[slot],
+        (long long)self->col_seq[slot],
+        (long)self->col_sender[slot],
+        (long long)self->col_send_time[slot],
+        payload,
+        (long long)new_head);
+    if (result == NULL)
+        Py_DECREF(payload);
+    return result;
+}
+
+static PyObject *
+Pool_peek(PoolObject *self, PyObject *arg)
+{
+    Py_ssize_t receiver = PyLong_AsSsize_t(arg);
+    if (PyErr_Occurred())
+        return NULL;
+    if (receiver < 0 || receiver >= self->n) {
+        PyErr_Format(PyExc_IndexError, "receiver %zd out of range", receiver);
+        return NULL;
+    }
+    Shard *shard = &self->shards[receiver];
+    if (shard->len == 0) {
+        PyErr_Format(PyExc_IndexError, "shard %zd is empty", receiver);
+        return NULL;
+    }
+    int32_t slot = shard->items[0];
+    return Py_BuildValue(
+        "LLlLO",
+        (long long)self->col_deliver[slot],
+        (long long)self->col_seq[slot],
+        (long)self->col_sender[slot],
+        (long long)self->col_send_time[slot],
+        self->col_payload[slot]);
+}
+
+static PyObject *
+Pool_slots(PoolObject *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyLong_FromSsize_t(self->used);
+}
+
+static PyObject *
+Pool_free(PoolObject *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyLong_FromSsize_t(self->free_top);
+}
+
+static PyMethodDef Pool_methods[] = {
+    {"push", (PyCFunction)(void (*)(void))Pool_push, METH_FASTCALL,
+     "push(receiver, deliver_at, seq, sender, send_time, payload)"},
+    {"push_many", (PyCFunction)(void (*)(void))Pool_push_many, METH_FASTCALL,
+     "push_many(sender, send_time, seq0, receivers, deliver_ats, payload)"},
+    {"pop_due", (PyCFunction)(void (*)(void))Pool_pop_due, METH_FASTCALL,
+     "pop_due(receiver, t) -> None | (deliver_at, seq, sender, send_time, "
+     "payload, new_head)"},
+    {"peek", (PyCFunction)Pool_peek, METH_O,
+     "peek(receiver) -> (deliver_at, seq, sender, send_time, payload)"},
+    {"slots", (PyCFunction)Pool_slots, METH_NOARGS,
+     "total slots ever allocated"},
+    {"free", (PyCFunction)Pool_free, METH_NOARGS,
+     "slots currently on the free list"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject PoolType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.Pool",
+    .tp_doc = "Struct-of-arrays envelope pool with per-receiver shard heaps",
+    .tp_basicsize = sizeof(PoolObject),
+    .tp_itemsize = 0,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = Pool_new,
+    .tp_dealloc = (destructor)Pool_dealloc,
+    .tp_traverse = (traverseproc)Pool_traverse,
+    .tp_clear = (inquiry)Pool_clear,
+    .tp_methods = Pool_methods,
+};
+
+static PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._ckernel",
+    .m_doc = "Compiled storage backend for the packed sim kernel",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    if (PyType_Ready(&PoolType) < 0)
+        return NULL;
+    PyObject *module = PyModule_Create(&ckernel_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&PoolType);
+    if (PyModule_AddObject(module, "Pool", (PyObject *)&PoolType) < 0) {
+        Py_DECREF(&PoolType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

@@ -1,0 +1,1097 @@
+"""Packed struct-of-arrays sim kernel: the dense-tick hot path.
+
+The legacy data plane (:mod:`repro.sim.network`) keeps one
+:class:`~repro.sim.network.Envelope` dataclass per in-transit message in
+per-receiver object heaps. Profiles of dense full-fidelity runs show that
+the remaining cost after the columnar recording work (PR 4) is exactly that
+object churn plus per-call indirection in the scheduler's inner loop. This
+module removes both:
+
+- :class:`PackedNetwork` — a drop-in :class:`~repro.sim.network.Network`
+  subclass that stores in-transit messages as parallel ``array`` columns
+  (``deliver_at``, ``seq``, ``sender``, ``send_time``) plus a payload-ref
+  list, indexed by *slot* and recycled through a free list. No ``Envelope``
+  is allocated on send or pop unless an observer or compat caller actually
+  needs one (lazy views, the same trick as
+  :class:`~repro.sim.runs.StepStore`). The receiver column is implicit:
+  a slot's receiver is the shard its key lives in.
+- **Sharded horizon heaps** — instead of one object heap per receiver
+  ordered by rich comparisons on ``Envelope``, each receiver has a heap of
+  packed integer keys ``(deliver_at << 64) | (seq << 24) | slot``. Integer
+  comparison preserves the exact ``(deliver_at, seq)`` delivery order
+  (``seq`` is globally unique so the slot bits never decide), and push/pop
+  never call ``__lt__`` on objects. The network-level merge layer — the
+  ``_next_at`` index and the global lazy ``(deliver_at, receiver)`` horizon
+  heap — is inherited unchanged from :class:`Network`, so the event
+  engine's next-event queries work on every kernel.
+- :func:`run_fused_rr` — the scheduler's dense-tick loop
+  (``Simulation.step`` + batched pops + timeout check + recording) fused
+  into one function that reads the packed columns directly and appends
+  straight into the run's columnar :class:`~repro.sim.runs.StepStore`.
+  Selected automatically by ``Simulation(kernel="packed"|"compiled")``
+  for ``engine="event"`` + round-robin runs whose observers all take the
+  raw dispatch paths; every other configuration falls back to the generic
+  engine (still on the packed network, through its compat methods).
+
+Kernel selection — ``Simulation(kernel=...)``:
+
+``legacy``
+    the PR 4 data plane: object heaps, generic engine loops.
+``packed`` (default)
+    :class:`PackedNetwork` + the pure-Python fused loop.
+``compiled``
+    :class:`CompiledPackedNetwork`: the packed pool and shard heaps live in
+    the optional C extension ``repro.sim._ckernel`` (built via
+    ``python setup.py build_ext --inplace``; see ``pyproject.toml``). The
+    fused loop is shared with ``packed`` — only the pool operations change.
+    Requesting it without the extension built raises
+    :class:`~repro.sim.errors.ConfigurationError`; :data:`HAS_COMPILED`
+    reports availability.
+
+All three kernels are pinned byte-identical (run records, counters, RNG
+streams) by ``tests/test_kernel.py`` on top of the PR 4 differential oracle
+machinery.
+
+Handler contract (unchanged, but load-bearing here): process automata must
+not retain the :class:`~repro.sim.context.Context` or any ``Envelope``
+past their step. The fused loop reuses the pooled context, and packed
+payload slots are recycled through the free list as soon as they are
+consumed, so a retained reference would observe later steps' state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.context import BROADCAST_ALL
+from repro.sim.errors import ConfigurationError
+from repro.sim.network import (
+    DEFAULT_COMPACT_FACTOR,
+    DelayModel,
+    Envelope,
+    Network,
+)
+from repro.sim.observers import FullRecorder
+from repro.sim.types import NEVER, ProcessId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.scheduler import Simulation
+
+#: valid values of ``Simulation(kernel=...)``.
+KERNELS = ("legacy", "packed", "compiled")
+
+#: shard-key layout: ``(deliver_at << 64) | (seq << 24) | slot``. The low
+#: 24 bits address the pool slot (16M simultaneous in-transit messages),
+#: the next 40 bits carry the global send sequence, and everything above
+#: bit 64 is the delivery time — so plain integer comparison orders keys
+#: exactly like ``Envelope``'s ``(deliver_at, seq)`` ordering (``seq`` is
+#: globally unique, so the slot bits never break a tie).
+_SLOT_BITS = 24
+_SLOT_LIMIT = 1 << _SLOT_BITS
+_SLOT_MASK = _SLOT_LIMIT - 1
+_SEQ_BITS = 40
+_SEQ_LIMIT = 1 << _SEQ_BITS
+_KEY_SHIFT = _SLOT_BITS + _SEQ_BITS
+
+try:  # optional compiled backend; see setup.py
+    from repro.sim import _ckernel  # type: ignore[attr-defined]
+
+    HAS_COMPILED = True
+except ImportError:  # pragma: no cover - exercised only without the ext
+    _ckernel = None
+    HAS_COMPILED = False
+
+
+class PackedNetwork(Network):
+    """Struct-of-arrays message pool behind the :class:`Network` API.
+
+    In-transit messages live in parallel columns indexed by slot; each
+    receiver's delivery order is a heap of packed integer keys (see module
+    docstring). The merge layer — ``_next_at``, the global horizon heap,
+    and all the per-receiver counters — is inherited from :class:`Network`
+    and maintained identically, so the event engine and every public query
+    (:meth:`horizon_peek`, :meth:`in_transit`, quiescence counters) are
+    oblivious to the storage change. Compat methods (:meth:`send`,
+    :meth:`pop_deliverable`, ...) materialize ``Envelope`` views on demand;
+    the packed-primitive methods (:meth:`send_packed`,
+    :meth:`send_all_packed`) and the fused loop skip them entirely.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        delay_model: DelayModel | None = None,
+        *,
+        compact_factor: int = DEFAULT_COMPACT_FACTOR,
+    ) -> None:
+        super().__init__(n, delay_model, compact_factor=compact_factor)
+        #: the object heaps are replaced by the pool; poisoned so any code
+        #: still reaching for them fails fast instead of desynchronizing.
+        self._queues = None  # type: ignore[assignment]
+        self._seq = None  # replaced by the inline integer counter below
+        self._next_seq = 0
+        self._col_deliver = array("q")
+        self._col_seq = array("q")
+        self._col_sender = array("i")
+        self._col_send_time = array("q")
+        self._col_payload: list[Any] = []
+        #: recycled slots, LIFO (hot slots stay cache-warm).
+        self._free: list[int] = []
+        #: per-receiver heaps of packed integer keys.
+        self._shards: list[list[int]] = [[] for _ in range(n)]
+
+    # -- pool primitives ----------------------------------------------------
+
+    def _alloc(
+        self,
+        deliver_at: Time,
+        seq: int,
+        sender: ProcessId,
+        send_time: Time,
+        payload: Any,
+    ) -> int:
+        """Claim a slot for a message; grows the columns when the free
+        list is empty."""
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._col_deliver[slot] = deliver_at
+            self._col_seq[slot] = seq
+            self._col_sender[slot] = sender
+            self._col_send_time[slot] = send_time
+            self._col_payload[slot] = payload
+        else:
+            slot = len(self._col_payload)
+            if slot >= _SLOT_LIMIT:
+                raise OverflowError(
+                    f"packed pool exceeded {_SLOT_LIMIT} simultaneous "
+                    f"in-transit messages"
+                )
+            self._col_deliver.append(deliver_at)
+            self._col_seq.append(seq)
+            self._col_sender.append(sender)
+            self._col_send_time.append(send_time)
+            self._col_payload.append(payload)
+        return slot
+
+    def _view(self, slot: int, receiver: ProcessId) -> Envelope:
+        """Materialize an ``Envelope`` for a live slot (copies the fields —
+        safe to retain even after the slot is recycled)."""
+        return Envelope(
+            deliver_at=self._col_deliver[slot],
+            seq=self._col_seq[slot],
+            sender=self._col_sender[slot],
+            receiver=receiver,
+            payload=self._col_payload[slot],
+            send_time=self._col_send_time[slot],
+        )
+
+    def _account_send(self, receiver: ProcessId, deliver_at: Time) -> None:
+        """Fold one queued message into the counters and the merge layer."""
+        self.sent_count += 1
+        self._pending[receiver] += 1
+        if deliver_at < NEVER:
+            self._live[receiver] += 1
+            if receiver not in self._dead:
+                self.live_pending += 1
+        head = self._next_at[receiver]
+        if head is None or deliver_at < head:
+            self._next_at[receiver] = deliver_at
+            horizon = self._horizon
+            if len(horizon) > self._horizon_cap:
+                self._compact_horizon()
+            heapq.heappush(horizon, (deliver_at, receiver))
+
+    # -- sends --------------------------------------------------------------
+
+    def send_packed(
+        self, sender: ProcessId, receiver: ProcessId, payload: Any, t: Time
+    ) -> int:
+        """Queue a point-to-point message without materializing an
+        ``Envelope``; returns the pool slot."""
+        delay = self.delay_model.delay(sender, receiver, t)
+        if delay < 1:
+            raise ValueError(f"delay model produced non-positive delay {delay}")
+        deliver_at = t + delay
+        seq = self._next_seq
+        if seq >= _SEQ_LIMIT:
+            raise OverflowError("packed pool exhausted the 40-bit send sequence")
+        self._next_seq = seq + 1
+        slot = self._alloc(deliver_at, seq, sender, t, payload)
+        heapq.heappush(
+            self._shards[receiver],
+            (deliver_at << _KEY_SHIFT) | (seq << _SLOT_BITS) | slot,
+        )
+        self.sent_count += 1
+        self._pending[receiver] += 1
+        if deliver_at < NEVER:
+            self._live[receiver] += 1
+            if receiver not in self._dead:
+                self.live_pending += 1
+        head = self._next_at[receiver]
+        if head is None or deliver_at < head:
+            self._next_at[receiver] = deliver_at
+            horizon = self._horizon
+            if len(horizon) > self._horizon_cap:
+                self._compact_horizon()
+            heapq.heappush(horizon, (deliver_at, receiver))
+        return slot
+
+    def send(
+        self, sender: ProcessId, receiver: ProcessId, payload: Any, t: Time
+    ) -> Envelope:
+        slot = self.send_packed(sender, receiver, payload, t)
+        return self._view(slot, receiver)
+
+    def _send_all_common(
+        self,
+        sender: ProcessId,
+        payload: Any,
+        t: Time,
+        include_self: bool,
+        collect: list[Envelope] | None,
+    ) -> int:
+        """One batched broadcast pass (same draws and order as the legacy
+        :meth:`Network.send_all`).
+
+        With a vectorized delay profile every input is validated before any
+        message queues (the profile contract), so the loop runs with local
+        counters folded in at the end; the per-receiver ``delay()`` fallback
+        keeps the legacy update-as-you-queue semantics so a model raising
+        mid-broadcast leaves the network consistent with what was sent.
+        """
+        receivers = [r for r in range(self.n) if include_self or r != sender]
+        profile = getattr(self.delay_model, "delay_profile", None)
+        shards = self._shards
+        next_at = self._next_at
+        pending = self._pending
+        live = self._live
+        dead = self._dead
+        horizon = self._horizon
+        cap = self._horizon_cap
+        heappush = heapq.heappush
+        if profile is not None:
+            delays = profile(sender, t, receivers)
+            count = len(receivers)
+            if len(delays) != count:
+                raise ValueError(
+                    f"delay profile returned {len(delays)} delays for "
+                    f"{count} receivers"
+                )
+            for delay in delays:
+                if delay < 1:
+                    raise ValueError(
+                        f"delay model produced non-positive delay {delay}"
+                    )
+            seq = self._next_seq
+            if seq + count > _SEQ_LIMIT:
+                raise OverflowError(
+                    "packed pool exhausted the 40-bit send sequence"
+                )
+            col_deliver = self._col_deliver
+            col_seq = self._col_seq
+            col_sender = self._col_sender
+            col_send_time = self._col_send_time
+            col_payload = self._col_payload
+            free = self._free
+            if len(col_payload) + count - len(free) > _SLOT_LIMIT:
+                raise OverflowError(
+                    f"packed pool exceeded {_SLOT_LIMIT} simultaneous "
+                    f"in-transit messages"
+                )
+            live_gain = 0
+            for position in range(count):
+                receiver = receivers[position]
+                deliver_at = t + delays[position]
+                if free:
+                    slot = free.pop()
+                    col_deliver[slot] = deliver_at
+                    col_seq[slot] = seq
+                    col_sender[slot] = sender
+                    col_send_time[slot] = t
+                    col_payload[slot] = payload
+                else:
+                    slot = len(col_payload)
+                    col_deliver.append(deliver_at)
+                    col_seq.append(seq)
+                    col_sender.append(sender)
+                    col_send_time.append(t)
+                    col_payload.append(payload)
+                heappush(
+                    shards[receiver],
+                    (deliver_at << _KEY_SHIFT) | (seq << _SLOT_BITS) | slot,
+                )
+                seq += 1
+                pending[receiver] += 1
+                if deliver_at < NEVER:
+                    live[receiver] += 1
+                    if receiver not in dead:
+                        live_gain += 1
+                head = next_at[receiver]
+                if head is None or deliver_at < head:
+                    next_at[receiver] = deliver_at
+                    if len(horizon) > cap:
+                        self._compact_horizon()
+                    heappush(horizon, (deliver_at, receiver))
+                if collect is not None:
+                    collect.append(
+                        Envelope(deliver_at, seq - 1, sender, receiver, payload, t)
+                    )
+            self._next_seq = seq
+            self.sent_count += count
+            if live_gain:
+                self.live_pending += live_gain
+            return count
+        delay_of = self.delay_model.delay
+        count = 0
+        for receiver in receivers:
+            delay = delay_of(sender, receiver, t)
+            if delay < 1:
+                raise ValueError(
+                    f"delay model produced non-positive delay {delay}"
+                )
+            deliver_at = t + delay
+            seq = self._next_seq
+            if seq >= _SEQ_LIMIT:
+                raise OverflowError(
+                    "packed pool exhausted the 40-bit send sequence"
+                )
+            self._next_seq = seq + 1
+            slot = self._alloc(deliver_at, seq, sender, t, payload)
+            heappush(
+                shards[receiver],
+                (deliver_at << _KEY_SHIFT) | (seq << _SLOT_BITS) | slot,
+            )
+            self.sent_count += 1
+            pending[receiver] += 1
+            if deliver_at < NEVER:
+                live[receiver] += 1
+                if receiver not in dead:
+                    self.live_pending += 1
+            head = next_at[receiver]
+            if head is None or deliver_at < head:
+                next_at[receiver] = deliver_at
+                if len(horizon) > cap:
+                    self._compact_horizon()
+                heappush(horizon, (deliver_at, receiver))
+            if collect is not None:
+                collect.append(
+                    Envelope(deliver_at, seq, sender, receiver, payload, t)
+                )
+            count += 1
+        return count
+
+    def send_all_packed(
+        self,
+        sender: ProcessId,
+        payload: Any,
+        t: Time,
+        include_self: bool = True,
+    ) -> int:
+        """Broadcast without materializing envelopes; returns the count."""
+        return self._send_all_common(sender, payload, t, include_self, None)
+
+    def send_all(
+        self,
+        sender: ProcessId,
+        payload: Any,
+        t: Time,
+        *,
+        include_self: bool = True,
+    ) -> list[Envelope]:
+        envelopes: list[Envelope] = []
+        self._send_all_common(sender, payload, t, include_self, envelopes)
+        return envelopes
+
+    # -- pops ---------------------------------------------------------------
+
+    def peek_deliverable(self, receiver: ProcessId, t: Time) -> Envelope | None:
+        shard = self._shards[receiver]
+        if shard and shard[0] >> _KEY_SHIFT <= t:
+            return self._view(shard[0] & _SLOT_MASK, receiver)
+        return None
+
+    def pop_deliverable(self, receiver: ProcessId, t: Time) -> Envelope | None:
+        shard = self._shards[receiver]
+        if not shard or shard[0] >> _KEY_SHIFT > t:
+            return None
+        key = heapq.heappop(shard)
+        slot = key & _SLOT_MASK
+        deliver_at = key >> _KEY_SHIFT
+        envelope = Envelope(
+            deliver_at=deliver_at,
+            seq=self._col_seq[slot],
+            sender=self._col_sender[slot],
+            receiver=receiver,
+            payload=self._col_payload[slot],
+            send_time=self._col_send_time[slot],
+        )
+        self._col_payload[slot] = None  # drop the ref before recycling
+        self._free.append(slot)
+        self.delivered_count += 1
+        self._pending[receiver] -= 1
+        if deliver_at < NEVER:
+            self._live[receiver] -= 1
+            if receiver not in self._dead:
+                self.live_pending -= 1
+        if shard:
+            head = shard[0] >> _KEY_SHIFT
+            self._next_at[receiver] = head
+            if len(self._horizon) > self._horizon_cap:
+                self._compact_horizon()
+            heapq.heappush(self._horizon, (head, receiver))
+        else:
+            self._next_at[receiver] = None
+        return envelope
+
+    def pop_deliverable_batch(
+        self, receiver: ProcessId, t: Time, limit: int
+    ) -> list[Envelope]:
+        shard = self._shards[receiver]
+        if not shard or shard[0] >> _KEY_SHIFT > t:
+            return []
+        popped: list[Envelope] = []
+        live_drop = 0
+        heappop = heapq.heappop
+        col_seq = self._col_seq
+        col_sender = self._col_sender
+        col_send_time = self._col_send_time
+        col_payload = self._col_payload
+        free_append = self._free.append
+        while shard and len(popped) < limit:
+            key = shard[0]
+            deliver_at = key >> _KEY_SHIFT
+            if deliver_at > t:
+                break
+            heappop(shard)
+            slot = key & _SLOT_MASK
+            popped.append(
+                Envelope(
+                    deliver_at=deliver_at,
+                    seq=col_seq[slot],
+                    sender=col_sender[slot],
+                    receiver=receiver,
+                    payload=col_payload[slot],
+                    send_time=col_send_time[slot],
+                )
+            )
+            col_payload[slot] = None
+            free_append(slot)
+            if deliver_at < NEVER:
+                live_drop += 1
+        count = len(popped)
+        self.delivered_count += count
+        self._pending[receiver] -= count
+        if live_drop:
+            self._live[receiver] -= live_drop
+            if receiver not in self._dead:
+                self.live_pending -= live_drop
+        if shard:
+            head = shard[0] >> _KEY_SHIFT
+            self._next_at[receiver] = head
+            if len(self._horizon) > self._horizon_cap:
+                self._compact_horizon()
+            heapq.heappush(self._horizon, (head, receiver))
+        else:
+            self._next_at[receiver] = None
+        return popped
+
+    # -- introspection (tests / benchmarks) ---------------------------------
+
+    @property
+    def pool_slots(self) -> int:
+        """Total slots ever allocated (high-water mark of in-transit mail)."""
+        return len(self._col_payload)
+
+    @property
+    def pool_free(self) -> int:
+        """Slots currently on the free list."""
+        return len(self._free)
+
+
+class CompiledPackedNetwork(PackedNetwork):
+    """The packed pool and shard heaps, hosted by the C extension.
+
+    Storage moves into ``repro.sim._ckernel.Pool`` (slot columns, free
+    list, per-receiver shard heaps); the merge layer, counters, and all
+    delay-model interaction stay in Python so the scheduler's event engine
+    sees exactly the same ``_next_at`` / ``_horizon`` state as every other
+    kernel. The Python columns inherited from :class:`PackedNetwork` stay
+    empty and unused.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        delay_model: DelayModel | None = None,
+        *,
+        compact_factor: int = DEFAULT_COMPACT_FACTOR,
+    ) -> None:
+        if not HAS_COMPILED:
+            raise ConfigurationError(
+                "kernel='compiled' requested but repro.sim._ckernel is not "
+                "built; run `python setup.py build_ext --inplace` with a C "
+                "compiler available, or use kernel='packed'"
+            )
+        super().__init__(n, delay_model, compact_factor=compact_factor)
+        self._shards = None  # type: ignore[assignment]  # lives in the pool
+        self._pool = _ckernel.Pool(n)
+
+    # -- sends --------------------------------------------------------------
+
+    def send_packed(
+        self, sender: ProcessId, receiver: ProcessId, payload: Any, t: Time
+    ) -> int:
+        delay = self.delay_model.delay(sender, receiver, t)
+        if delay < 1:
+            raise ValueError(f"delay model produced non-positive delay {delay}")
+        deliver_at = t + delay
+        seq = self._next_seq
+        if seq >= _SEQ_LIMIT:
+            raise OverflowError("packed pool exhausted the 40-bit send sequence")
+        self._next_seq = seq + 1
+        self._pool.push(receiver, deliver_at, seq, sender, t, payload)
+        self._account_send(receiver, deliver_at)
+        return seq
+
+    def send(
+        self, sender: ProcessId, receiver: ProcessId, payload: Any, t: Time
+    ) -> Envelope:
+        delay = self.delay_model.delay(sender, receiver, t)
+        if delay < 1:
+            raise ValueError(f"delay model produced non-positive delay {delay}")
+        deliver_at = t + delay
+        seq = self._next_seq
+        if seq >= _SEQ_LIMIT:
+            raise OverflowError("packed pool exhausted the 40-bit send sequence")
+        self._next_seq = seq + 1
+        self._pool.push(receiver, deliver_at, seq, sender, t, payload)
+        self._account_send(receiver, deliver_at)
+        return Envelope(deliver_at, seq, sender, receiver, payload, t)
+
+    def _send_all_common(
+        self,
+        sender: ProcessId,
+        payload: Any,
+        t: Time,
+        include_self: bool,
+        collect: list[Envelope] | None,
+    ) -> int:
+        receivers = [r for r in range(self.n) if include_self or r != sender]
+        profile = getattr(self.delay_model, "delay_profile", None)
+        pool = self._pool
+        if profile is not None:
+            delays = profile(sender, t, receivers)
+            if len(delays) != len(receivers):
+                raise ValueError(
+                    f"delay profile returned {len(delays)} delays for "
+                    f"{len(receivers)} receivers"
+                )
+            for delay in delays:
+                if delay < 1:
+                    raise ValueError(
+                        f"delay model produced non-positive delay {delay}"
+                    )
+            seq0 = self._next_seq
+            if seq0 + len(receivers) > _SEQ_LIMIT:
+                raise OverflowError(
+                    "packed pool exhausted the 40-bit send sequence"
+                )
+            deliver_ats = [t + delay for delay in delays]
+            pool.push_many(sender, t, seq0, receivers, deliver_ats, payload)
+            self._next_seq = seq0 + len(receivers)
+            account = self._account_send
+            for position, receiver in enumerate(receivers):
+                deliver_at = deliver_ats[position]
+                account(receiver, deliver_at)
+                if collect is not None:
+                    collect.append(
+                        Envelope(
+                            deliver_at, seq0 + position, sender, receiver,
+                            payload, t,
+                        )
+                    )
+            return len(receivers)
+        delay_of = self.delay_model.delay
+        account = self._account_send
+        count = 0
+        for receiver in receivers:
+            delay = delay_of(sender, receiver, t)
+            if delay < 1:
+                raise ValueError(
+                    f"delay model produced non-positive delay {delay}"
+                )
+            deliver_at = t + delay
+            seq = self._next_seq
+            if seq >= _SEQ_LIMIT:
+                raise OverflowError(
+                    "packed pool exhausted the 40-bit send sequence"
+                )
+            self._next_seq = seq + 1
+            pool.push(receiver, deliver_at, seq, sender, t, payload)
+            account(receiver, deliver_at)
+            if collect is not None:
+                collect.append(
+                    Envelope(deliver_at, seq, sender, receiver, payload, t)
+                )
+            count += 1
+        return count
+
+    # -- pops ---------------------------------------------------------------
+
+    def peek_deliverable(self, receiver: ProcessId, t: Time) -> Envelope | None:
+        head = self._next_at[receiver]
+        if head is None or head > t:
+            return None
+        deliver_at, seq, sender, send_time, payload = self._pool.peek(receiver)
+        return Envelope(deliver_at, seq, sender, receiver, payload, send_time)
+
+    def pop_deliverable(self, receiver: ProcessId, t: Time) -> Envelope | None:
+        result = self._pool.pop_due(receiver, t)
+        if result is None:
+            return None
+        deliver_at, seq, sender, send_time, payload, new_head = result
+        self.delivered_count += 1
+        self._pending[receiver] -= 1
+        if deliver_at < NEVER:
+            self._live[receiver] -= 1
+            if receiver not in self._dead:
+                self.live_pending -= 1
+        if new_head >= 0:
+            self._next_at[receiver] = new_head
+            if len(self._horizon) > self._horizon_cap:
+                self._compact_horizon()
+            heapq.heappush(self._horizon, (new_head, receiver))
+        else:
+            self._next_at[receiver] = None
+        return Envelope(deliver_at, seq, sender, receiver, payload, send_time)
+
+    def pop_deliverable_batch(
+        self, receiver: ProcessId, t: Time, limit: int
+    ) -> list[Envelope]:
+        pool = self._pool
+        popped: list[Envelope] = []
+        live_drop = 0
+        new_head = -2  # sentinel: nothing popped
+        while len(popped) < limit:
+            result = pool.pop_due(receiver, t)
+            if result is None:
+                break
+            deliver_at, seq, sender, send_time, payload, new_head = result
+            popped.append(
+                Envelope(deliver_at, seq, sender, receiver, payload, send_time)
+            )
+            if deliver_at < NEVER:
+                live_drop += 1
+        count = len(popped)
+        if not count:
+            return popped
+        self.delivered_count += count
+        self._pending[receiver] -= count
+        if live_drop:
+            self._live[receiver] -= live_drop
+            if receiver not in self._dead:
+                self.live_pending -= live_drop
+        if new_head >= 0:
+            self._next_at[receiver] = new_head
+            if len(self._horizon) > self._horizon_cap:
+                self._compact_horizon()
+            heapq.heappush(self._horizon, (new_head, receiver))
+        else:
+            self._next_at[receiver] = None
+        return popped
+
+    @property
+    def pool_slots(self) -> int:
+        return self._pool.slots()
+
+    @property
+    def pool_free(self) -> int:
+        return self._pool.free()
+
+
+def make_network(
+    n: int,
+    delay_model: DelayModel | None = None,
+    *,
+    kernel: str = "packed",
+    compact_factor: int = DEFAULT_COMPACT_FACTOR,
+) -> Network:
+    """Build the network backing a kernel selection (see :data:`KERNELS`)."""
+    if kernel == "legacy":
+        return Network(n, delay_model, compact_factor=compact_factor)
+    if kernel == "packed":
+        return PackedNetwork(n, delay_model, compact_factor=compact_factor)
+    if kernel == "compiled":
+        return CompiledPackedNetwork(
+            n, delay_model, compact_factor=compact_factor
+        )
+    raise ConfigurationError(
+        f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+    )
+
+
+def fused_runner(sim: "Simulation") -> Callable[["Simulation", Time], None] | None:
+    """The fused dense-tick runner for ``sim``, or None when ineligible.
+
+    Eligible when the network is packed and every attached step observer
+    takes the raw dispatch path (the built-in recorders do) — then the
+    fused loop is behaviourally identical to the generic event engine.
+    The caller still gates on ``engine="event"`` + round-robin at run
+    time; ineligible configurations run the generic loops against the
+    packed network's compat methods.
+    """
+    if sim._step_observers and sim._raw_step_observers is None:
+        return None
+    if isinstance(sim.network, PackedNetwork):
+        return run_fused_rr
+    return None
+
+
+def run_fused_rr(sim: "Simulation", t_end: Time) -> None:
+    """Run the round-robin event engine to ``t_end`` in one fused loop.
+
+    Semantically identical to ``while sim.time < t_end:
+    sim._advance_event_rr(t_end)`` over a packed network — same handler
+    call order, same RNG draws, same records, same counters — but the
+    per-tick work reads the packed columns directly: shard-heap pops and
+    sends never materialize envelopes (unless a deliver/send observer is
+    attached), and full-fidelity recording appends straight into the run's
+    columnar ``StepStore``. Idle stretches reuse the engine's span
+    accounting (``_next_event_query`` / ``_skip_span_rr``), so crashes,
+    idle-record materialization, and metrics behave exactly as before.
+    """
+    net = sim.network
+    n = sim.n
+    processes = sim.processes
+    ctx = sim._ctx
+    detector = sim.detector
+    query_fd = detector.query if detector is not None else None
+    failure_pattern = sim.failure_pattern
+    crashed = failure_pattern.crashed
+    has_crashes = bool(failure_pattern.crash_times)
+    query_next = sim._next_event_query
+    skip_span = sim._skip_span_rr
+    crash_get = failure_pattern.crash_times.get
+    #: at small n a direct scan over the two per-process indexes beats the
+    #: lazy-heap query (no pops/reinserts); both compute the identical
+    #: target — align(min of the two cursors) per process, crash-gated,
+    #: minimized over processes — the heaps just answer it sublinearly.
+    scan_events = n <= 16
+    local_event = sim._local_event
+    local_horizon = sim._local_horizon
+    local_cap = sim._local_cap
+    next_timeout = sim._next_timeout
+    intervals = sim.timeout_intervals
+    inputs_by_pid = sim._inputs
+    started = sim._started
+    message_batch = sim.message_batch
+    deliver_obs = sim._deliver_observers
+    send_obs = sim._send_observers
+    log_obs = sim._log_observers
+    raw_obs = sim._raw_step_observers
+    run = sim.run
+
+    # Merge layer (inherited Network state — identical across kernels).
+    next_at = net._next_at
+    pending = net._pending
+    live = net._live
+    dead = net._dead
+    horizon = net._horizon
+    horizon_cap = net._horizon_cap
+
+    # Pool storage: Python shard heaps + columns, or the C pool.
+    pool = getattr(net, "_pool", None)
+    if pool is None:
+        shards = net._shards
+        col_seq = net._col_seq
+        col_sender = net._col_sender
+        col_send_time = net._col_send_time
+        col_payload = net._col_payload
+        free_append = net._free.append
+
+    send_packed = net.send_packed
+    send_all_packed = net.send_all_packed
+
+    # Single-FullRecorder fast path: append into the columnar store inline
+    # (mirrors StepStore.append_exec + RunRecord.record_histories_raw; the
+    # differential tests pin the equivalence).
+    store = None
+    if raw_obs is not None and len(raw_obs) == 1 and type(raw_obs[0]) is FullRecorder:
+        store = raw_obs[0]._store
+    if store is not None:
+        st_index = store._index
+        col_st_index = st_index.append
+        col_st_time = store._time.append
+        col_st_pid = store._pid.append
+        col_st_fd = store._fd.append
+        col_st_sender = store._msg_sender.append
+        col_st_payload = store._msg_payload.append
+        col_st_send_time = store._msg_send_time.append
+        col_st_timeout = store._timeout.append
+        col_st_sent = store._sent.append
+        col_st_received = store._received.append
+        intern_fd = store._intern_fd
+        sparse_inputs = store._inputs
+        sparse_outputs = store._outputs
+        input_history = run.input_history
+        output_history = run.output_history
+
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    heapify = heapq.heapify
+
+    t = sim.time
+    while t < t_end:
+        pid = t % n
+        if local_event[pid] <= t:
+            due = True
+        else:
+            head = next_at[pid]
+            due = head is not None and head <= t
+        if due and not (has_crashes and crashed(pid, t)):
+            # ---- one fused executed step (mirrors Simulation.step) ----
+            sim.time = t + 1
+            sim.last_live_tick = t
+            fd_value = query_fd(pid, t) if query_fd is not None else None
+            ctx.pid = pid
+            ctx.time = t
+            ctx.fd_value = fd_value
+            process = processes[pid]
+            if pid not in started:
+                started.add(pid)
+                process.on_start(ctx)
+
+            in_q = inputs_by_pid[pid]
+            if in_q and in_q[0][0] <= t:
+                drained = []
+                on_input = process.on_input
+                while in_q and in_q[0][0] <= t:
+                    __, __, value = heappop(in_q)
+                    drained.append(value)
+                    on_input(ctx, value)
+                inputs_t = tuple(drained)
+            else:
+                inputs_t = ()
+
+            received = 0
+            first_sender = -1
+            first_payload = None
+            first_send_time = -1
+            if pool is None:
+                shard = shards[pid]
+                if shard and shard[0] >> _KEY_SHIFT <= t:
+                    on_message = process.on_message
+                    while received < message_batch and shard:
+                        key = shard[0]
+                        deliver_at = key >> _KEY_SHIFT
+                        if deliver_at > t:
+                            break
+                        heappop(shard)
+                        slot = key & _SLOT_MASK
+                        sender = col_sender[slot]
+                        payload = col_payload[slot]
+                        if received == 0:
+                            first_sender = sender
+                            first_payload = payload
+                            first_send_time = col_send_time[slot]
+                        received += 1
+                        if deliver_at < NEVER:
+                            live[pid] -= 1
+                            if pid not in dead:
+                                net.live_pending -= 1
+                        if deliver_obs:
+                            envelope = Envelope(
+                                deliver_at, col_seq[slot], sender, pid,
+                                payload, col_send_time[slot],
+                            )
+                            col_payload[slot] = None
+                            free_append(slot)
+                            for observer in deliver_obs:
+                                observer.on_deliver(sim, envelope)
+                        else:
+                            col_payload[slot] = None
+                            free_append(slot)
+                        on_message(ctx, sender, payload)
+                    net.delivered_count += received
+                    pending[pid] -= received
+                    if shard:
+                        head = shard[0] >> _KEY_SHIFT
+                        next_at[pid] = head
+                        if len(horizon) > horizon_cap:
+                            net._compact_horizon()
+                        heappush(horizon, (head, pid))
+                    else:
+                        next_at[pid] = None
+            else:
+                head = next_at[pid]
+                if head is not None and head <= t:
+                    on_message = process.on_message
+                    new_head = -1
+                    result = pool.pop_due(pid, t)
+                    while result is not None:
+                        (
+                            deliver_at, seq, sender, send_time, payload,
+                            new_head,
+                        ) = result
+                        if received == 0:
+                            first_sender = sender
+                            first_payload = payload
+                            first_send_time = send_time
+                        received += 1
+                        if deliver_at < NEVER:
+                            live[pid] -= 1
+                            if pid not in dead:
+                                net.live_pending -= 1
+                        if deliver_obs:
+                            envelope = Envelope(
+                                deliver_at, seq, sender, pid, payload,
+                                send_time,
+                            )
+                            for observer in deliver_obs:
+                                observer.on_deliver(sim, envelope)
+                        on_message(ctx, sender, payload)
+                        if (
+                            received >= message_batch
+                            or new_head < 0
+                            or new_head > t
+                        ):
+                            break
+                        result = pool.pop_due(pid, t)
+                    net.delivered_count += received
+                    pending[pid] -= received
+                    if new_head >= 0:
+                        next_at[pid] = new_head
+                        if len(horizon) > horizon_cap:
+                            net._compact_horizon()
+                        heappush(horizon, (new_head, pid))
+                    else:
+                        next_at[pid] = None
+
+            if t >= next_timeout[pid]:
+                timeout_fired = True
+                next_timeout[pid] = t + intervals[pid]
+                process.on_timeout(ctx)
+            else:
+                timeout_fired = False
+
+            outbox = ctx._outbox
+            sent = 0
+            if outbox:
+                ctx._outbox = []
+                if send_obs:
+                    for receiver, payload in outbox:
+                        if receiver >= 0:
+                            envelope = net.send(pid, receiver, payload, t)
+                            sent += 1
+                            for observer in send_obs:
+                                observer.on_send(sim, envelope)
+                        else:
+                            for envelope in net.send_all(
+                                pid, payload, t,
+                                include_self=receiver == BROADCAST_ALL,
+                            ):
+                                sent += 1
+                                for observer in send_obs:
+                                    observer.on_send(sim, envelope)
+                else:
+                    for receiver, payload in outbox:
+                        if receiver >= 0:
+                            send_packed(pid, receiver, payload, t)
+                            sent += 1
+                        else:
+                            sent += send_all_packed(
+                                pid, payload, t, receiver == BROADCAST_ALL
+                            )
+
+            outputs = ctx._outputs
+            if outputs:
+                ctx._outputs = []
+                outputs_t = tuple(outputs)
+            else:
+                outputs_t = ()
+            log_buf = ctx._log
+            if log_buf:
+                ctx._log = []
+                if log_obs:
+                    for event in log_buf:
+                        for observer in log_obs:
+                            observer.on_log(sim, t, pid, event)
+
+            # _refresh_local, inlined.
+            event_at = next_timeout[pid]
+            if in_q and in_q[0][0] < event_at:
+                event_at = in_q[0][0]
+            if event_at != local_event[pid]:
+                local_event[pid] = event_at
+                if len(local_horizon) > local_cap:
+                    local_horizon[:] = [
+                        (local_event[p], p) for p in range(n)
+                    ]
+                    heapify(local_horizon)
+                heappush(local_horizon, (event_at, pid))
+
+            index = sim._step_index
+            sim._step_index = index + 1
+            if store is not None:
+                col_st_index(index)
+                col_st_time(t)
+                col_st_pid(pid)
+                col_st_fd(None if fd_value is None else intern_fd(fd_value))
+                col_st_sender(first_sender)
+                col_st_payload(first_payload)
+                col_st_send_time(first_send_time)
+                col_st_timeout(1 if timeout_fired else 0)
+                col_st_sent(sent)
+                col_st_received(received)
+                if inputs_t or outputs_t:
+                    position = len(st_index) - 1
+                    if inputs_t:
+                        sparse_inputs[position] = inputs_t
+                    if outputs_t:
+                        sparse_outputs[position] = outputs_t
+                if t > run.end_time:
+                    run.end_time = t
+                if inputs_t:
+                    bucket = input_history.setdefault(pid, [])
+                    bucket.extend((t, value) for value in inputs_t)
+                if outputs_t:
+                    bucket = output_history.setdefault(pid, [])
+                    bucket.extend((t, value) for value in outputs_t)
+            elif raw_obs is not None:
+                for observer in raw_obs:
+                    observer.on_step_raw(
+                        sim, index, t, pid, first_sender, first_payload,
+                        first_send_time, fd_value, inputs_t, outputs_t,
+                        timeout_fired, sent, received,
+                    )
+            t += 1
+            continue
+
+        # Idle (or crash-gated) tick: jump to the next actionable one.
+        if scan_events:
+            target = None
+            for p in range(n):
+                event_at = local_event[p]
+                deliver_at = next_at[p]
+                if deliver_at is not None and deliver_at < event_at:
+                    event_at = deliver_at
+                eff = event_at if event_at > t else t
+                tick = eff + ((p - eff) % n)
+                if has_crashes:
+                    crash_at = crash_get(p)
+                    if crash_at is not None and tick >= crash_at:
+                        continue
+                if target is None or tick < target:
+                    target = tick
+        else:
+            target = query_next(t, True)
+        if target is None or target >= t_end:
+            skip_span(t, t_end)
+            t = t_end
+            break
+        skip_span(t, target)
+        t = target
+    sim.time = t

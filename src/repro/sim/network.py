@@ -22,6 +22,15 @@ from typing import Any, Iterable, Protocol, Sequence
 
 from repro.sim.types import NEVER, ProcessId, Time
 
+#: Default heap self-compaction factor: a lazy horizon heap is rebuilt from
+#: its index once it outgrows ``max(64, factor * n)`` entries. Rebuilding
+#: costs O(n) and shrinks the heap to <= n entries, so at least
+#: ``(factor - 1) * n`` pushes separate rebuilds — amortized O(1). Tunable
+#: per run via ``Network(compact_factor=...)`` / ``Simulation(compact_factor=...)``
+#: so kernel benchmarks can sweep the tradeoff (smaller factors bound stale
+#: build-up tighter; larger factors rebuild less often).
+DEFAULT_COMPACT_FACTOR = 4
+
 
 @dataclass(frozen=True, order=True, slots=True)
 class Envelope:
@@ -69,6 +78,13 @@ class FixedDelay:
 
     def delay(self, sender: ProcessId, receiver: ProcessId, t: Time) -> Time:
         return self.ticks
+
+    def delay_profile(
+        self, sender: ProcessId, t: Time, receivers: Sequence[ProcessId]
+    ) -> list[Time]:
+        # Vectorized hook (see DelayModel): trivially one `delay` per
+        # receiver — there is no per-link state to draw.
+        return [self.ticks] * len(receivers)
 
 
 @dataclass
@@ -196,10 +212,21 @@ class Network:
     and the quiescence counter O(1) per receiver as well.
     """
 
-    def __init__(self, n: int, delay_model: DelayModel | None = None) -> None:
+    def __init__(
+        self,
+        n: int,
+        delay_model: DelayModel | None = None,
+        *,
+        compact_factor: int = DEFAULT_COMPACT_FACTOR,
+    ) -> None:
         if n < 1:
             raise ValueError(f"need at least one process, got n={n}")
+        if compact_factor < 1:
+            raise ValueError(
+                f"compact_factor must be >= 1, got {compact_factor}"
+            )
         self.n = n
+        self.compact_factor = compact_factor
         self.delay_model: DelayModel = delay_model or FixedDelay(1)
         self._queues: list[list[Envelope]] = [[] for _ in range(n)]
         self._seq = itertools.count()
@@ -225,10 +252,9 @@ class Network:
         self._horizon: list[tuple[Time, ProcessId]] = []
         #: compaction threshold: stale entries accumulate on runs that never
         #: query the horizon (naive engine, quiescence loops), so pushes
-        #: rebuild the heap from the index once it outgrows this. Rebuilding
-        #: costs O(n) and shrinks the heap to <= n entries, so at least
-        #: ~3n pushes separate rebuilds — amortized O(1).
-        self._horizon_cap = max(64, 4 * n)
+        #: rebuild the heap from the index once it outgrows this (see
+        #: :data:`DEFAULT_COMPACT_FACTOR`; tunable via ``compact_factor``).
+        self._horizon_cap = max(64, compact_factor * n)
 
     def send(
         self, sender: ProcessId, receiver: ProcessId, payload: Any, t: Time
@@ -365,6 +391,45 @@ class Network:
                 self._next_at[receiver] = None
             return envelope
         return None
+
+    def pop_deliverable_batch(
+        self, receiver: ProcessId, t: Time, limit: int
+    ) -> list[Envelope]:
+        """Consume up to ``limit`` deliverable messages, oldest first.
+
+        One call replaces up to ``limit`` :meth:`pop_deliverable` calls per
+        tick (the scheduler's ``message_batch`` loop): the queue head, the
+        counters, and the horizon are updated once per popped envelope but
+        the per-call indirection is paid once. Behaviour is pinned identical
+        to repeated single pops by the differential tests.
+        """
+        queue = self._queues[receiver]
+        if not queue or queue[0].deliver_at > t:
+            return []
+        popped: list[Envelope] = []
+        live_drop = 0
+        heappop = heapq.heappop
+        while queue and queue[0].deliver_at <= t and len(popped) < limit:
+            envelope = heappop(queue)
+            if envelope.deliver_at < NEVER:
+                live_drop += 1
+            popped.append(envelope)
+        count = len(popped)
+        self.delivered_count += count
+        self._pending[receiver] -= count
+        if live_drop:
+            self._live[receiver] -= live_drop
+            if receiver not in self._dead:
+                self.live_pending -= live_drop
+        if queue:
+            head = queue[0].deliver_at
+            self._next_at[receiver] = head
+            if len(self._horizon) > self._horizon_cap:
+                self._compact_horizon()
+            heapq.heappush(self._horizon, (head, receiver))
+        else:
+            self._next_at[receiver] = None
+        return popped
 
     def next_delivery_time(self, receiver: ProcessId) -> Time | None:
         """Delivery time of the oldest in-transit message to ``receiver``."""

@@ -76,7 +76,13 @@ from repro.sim.context import BROADCAST_ALL, Context
 from repro.sim.envs import EnvModel
 from repro.sim.errors import ConfigurationError
 from repro.sim.failures import FailurePattern
-from repro.sim.network import DelayModel, FixedDelay, Network
+from repro.sim.kernel import KERNELS, fused_runner, make_network
+from repro.sim.network import (
+    DEFAULT_COMPACT_FACTOR,
+    DelayModel,
+    FixedDelay,
+    Network,
+)
 from repro.sim.observers import RunMetrics, SimObserver, make_recorder
 from repro.sim.process import Process
 from repro.sim.runs import ReceivedMessage, RunRecord, StepRecord
@@ -119,6 +125,8 @@ class Simulation:
         scheduling: str = "round_robin",
         message_batch: int = 1,
         engine: str = "event",
+        kernel: str = "packed",
+        compact_factor: int = DEFAULT_COMPACT_FACTOR,
         record: str = "full",
         observers: Sequence[SimObserver] = (),
     ) -> None:
@@ -154,7 +162,27 @@ class Simulation:
             )
         if network is not None and delay_model is not None:
             raise ConfigurationError("pass either a network or a delay model, not both")
-        self.network = network or Network(self.n, delay_model or FixedDelay(1))
+        if kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+            )
+        if compact_factor < 1:
+            raise ConfigurationError(
+                f"compact_factor must be >= 1, got {compact_factor}"
+            )
+        #: data-plane selection (see repro.sim.kernel). An explicitly passed
+        #: network wins over the flag: the kernel then follows the network's
+        #: actual type.
+        self.kernel = kernel
+        self.compact_factor = compact_factor
+        if network is None:
+            network = make_network(
+                self.n,
+                delay_model or FixedDelay(1),
+                kernel=kernel,
+                compact_factor=compact_factor,
+            )
+        self.network = network
         if self.network.n != self.n:
             raise ConfigurationError("network size does not match process count")
         self.detector = detector
@@ -275,8 +303,18 @@ class Simulation:
             (0, pid) for pid in range(self.n)
         ]
         #: see Network._horizon_cap: bound the stale-entry build-up on runs
-        #: that push (every executed step) without ever querying.
-        self._local_cap = max(64, 4 * self.n)
+        #: that push (every executed step) without ever querying. Shares the
+        #: network's tunable compaction factor.
+        self._local_cap = max(64, compact_factor * self.n)
+        #: point-to-point/broadcast sends skip Envelope materialization when
+        #: the network has packed primitives and nothing observes sends.
+        self._packed_sends = not self._send_observers and hasattr(
+            self.network, "send_packed"
+        )
+        #: fused dense-tick runner (see repro.sim.kernel); None when this
+        #: configuration must take the generic engine paths. Resolved last:
+        #: eligibility reads the observer dispatch tables above.
+        self._fused_run = fused_runner(self)
 
     # -- inputs ----------------------------------------------------------------
 
@@ -345,17 +383,15 @@ class Simulation:
             inputs.append(value)
             process.on_input(ctx, value)
 
-        first_envelope = None
-        received_count = 0
-        for __ in range(self.message_batch):
-            envelope = self.network.pop_deliverable(pid, t)
-            if envelope is None:
-                break
-            if first_envelope is None:
-                first_envelope = envelope
-            received_count += 1
-            if self._deliver_observers:
-                for observer in self._deliver_observers:
+        # One batched pop per tick instead of up to message_batch calls;
+        # pinned identical to repeated single pops by the differential tests.
+        envelopes = self.network.pop_deliverable_batch(pid, t, self.message_batch)
+        first_envelope = envelopes[0] if envelopes else None
+        received_count = len(envelopes)
+        deliver_observers = self._deliver_observers
+        for envelope in envelopes:
+            if deliver_observers:
+                for observer in deliver_observers:
                     observer.on_deliver(self, envelope)
             process.on_message(ctx, envelope.sender, envelope.payload)
 
@@ -369,24 +405,36 @@ class Simulation:
         network = self.network
         send_observers = self._send_observers
         sent = 0
-        for receiver, payload in outbox:
-            if receiver >= 0:
-                envelope = network.send(pid, receiver, payload, t)
-                sent += 1
-                if send_observers:
-                    for observer in send_observers:
-                        observer.on_send(self, envelope)
-            else:
-                # Broadcast sentinel (see repro.sim.context): one batched
-                # delay-model pass over all receivers.
-                envelopes = network.send_all(
-                    pid, payload, t, include_self=receiver == BROADCAST_ALL
-                )
-                sent += len(envelopes)
-                if send_observers:
-                    for envelope in envelopes:
+        if self._packed_sends:
+            # Packed kernels: queue straight into the pool, no Envelope
+            # views (nothing observes sends; same draws, same counters).
+            for receiver, payload in outbox:
+                if receiver >= 0:
+                    network.send_packed(pid, receiver, payload, t)
+                    sent += 1
+                else:
+                    sent += network.send_all_packed(
+                        pid, payload, t, receiver == BROADCAST_ALL
+                    )
+        else:
+            for receiver, payload in outbox:
+                if receiver >= 0:
+                    envelope = network.send(pid, receiver, payload, t)
+                    sent += 1
+                    if send_observers:
                         for observer in send_observers:
                             observer.on_send(self, envelope)
+                else:
+                    # Broadcast sentinel (see repro.sim.context): one batched
+                    # delay-model pass over all receivers.
+                    envelopes = network.send_all(
+                        pid, payload, t, include_self=receiver == BROADCAST_ALL
+                    )
+                    sent += len(envelopes)
+                    if send_observers:
+                        for envelope in envelopes:
+                            for observer in send_observers:
+                                observer.on_send(self, envelope)
         outputs = ctx.drain_outputs()
         if self._log_observers:
             for event in ctx.drain_log():
@@ -808,8 +856,14 @@ class Simulation:
             while self.time < t_end:
                 self.step()
         elif self.scheduling == "round_robin":
-            while self.time < t_end:
-                self._advance_event_rr(t_end)
+            if self._fused_run is not None:
+                # Packed/compiled kernel: one fused loop to t_end (see
+                # repro.sim.kernel.run_fused_rr; byte-identical by the
+                # differential tests).
+                self._fused_run(self, t_end)
+            else:
+                while self.time < t_end:
+                    self._advance_event_rr(t_end)
         else:
             while self.time < t_end:
                 self._advance_event_random(t_end)

@@ -78,7 +78,7 @@ def random_config(seed: int) -> dict:
 
 
 def build_sim(
-    config: dict, *, engine: str, record: str = "full", observers=()
+    config: dict, *, engine: str, record: str = "full", observers=(), **sim_kwargs
 ) -> Simulation:
     n = config["n"]
     pattern = FailurePattern.crash(n, config["crashes"])
@@ -97,6 +97,7 @@ def build_sim(
         engine=engine,
         record=record,
         observers=observers,
+        **sim_kwargs,
     )
     for pid, t, payload in config["broadcasts"]:
         sim.add_input(pid, t, ("broadcast", payload))
