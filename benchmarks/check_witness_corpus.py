@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""CI gate: the pinned witness corpus must replay byte-identically.
+
+Every JSON file under ``tests/witnesses/`` is a worst case the falsifier
+(``repro.search``) once found, pinned with the objective value and run
+digest of the exact simulation it denotes. This gate reconstructs each
+witness on every requested kernel and fails when any replay disagrees with
+the pinned pair — the earliest possible signal that replay purity broke in
+the scheduler, the environment models, the detector histories, or the suite
+dispatch path::
+
+    python benchmarks/check_witness_corpus.py [--kernels packed,legacy]
+                                              [--corpus tests/witnesses]
+                                              [--workers N]
+
+Exit codes: 0 every witness replays exactly (and still strictly exceeds its
+recorded i.i.d. baseline); 1 any mismatch, or an empty corpus (a corpus
+that silently vanished must not pass the gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.search import load_corpus, replay_witness  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--kernels",
+        default="packed,legacy",
+        help="comma-separated sim kernels to replay on (default: packed,legacy)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        help="corpus directory (default: the checked-in tests/witnesses)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="replay through a suite worker pool of this size (default: 0, in-process)",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = load_corpus(args.corpus)
+    if not corpus:
+        print("FAIL: witness corpus is empty — nothing to gate on")
+        return 1
+
+    kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
+    failures = 0
+    for witness in corpus:
+        for kernel in kernels:
+            value, digest = replay_witness(
+                witness, kernel=kernel, workers=args.workers
+            )
+            ok = value == witness.value and digest == witness.digest
+            status = "ok" if ok else "MISMATCH"
+            print(
+                f"{witness.target:>12} [{kernel:>6}] value={value} "
+                f"(pinned {witness.value}) digest={digest} [{status}]"
+            )
+            failures += not ok
+        if witness.baseline is not None and witness.exceeds_baseline is not True:
+            print(
+                f"{witness.target:>12} no longer exceeds its i.i.d. baseline "
+                f"max {witness.baseline['max']} [FAIL]"
+            )
+            failures += 1
+
+    if failures:
+        print(f"\nFAIL: {failures} witness replay check(s) failed")
+        return 1
+    print(
+        f"\nOK: {len(corpus)} witness(es) replayed identically on "
+        f"{len(kernels)} kernel(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

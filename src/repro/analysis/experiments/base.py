@@ -36,7 +36,7 @@ from repro.consensus import PaxosConsensusLayer, TobFromConsensusLayer
 from repro.core import EcUsingOmegaLayer, EtobLayer
 from repro.core.transformations import EcToEtobLayer
 from repro.detectors import CompositeDetector, OmegaDetector, SigmaDetector
-from repro.sim import FailurePattern, FixedDelay, ProtocolStack, Simulation
+from repro.sim import FixedDelay, ProtocolStack, ReplayPlan, Simulation, run_plan
 from repro.sim.errors import ConfigurationError
 from repro.sim.network import DelayModel
 from repro.suite import Axis, Cell, SuiteResult, derive_seed
@@ -509,10 +509,27 @@ def _run_broadcast_scenario(
     (every experiment metric below reads the delivery timeline, not the raw
     step list, so retaining steps would only burn memory). ``delay_model``
     (e.g. an environment model from :func:`repro.sim.envs.make_env`)
-    overrides the fixed ``delay``-tick links."""
-    pattern = FailurePattern.crash(n, crashes or {})
+    overrides the fixed ``delay``-tick links.
+
+    The declarative half of the run goes through a
+    :class:`~repro.sim.replay.ReplayPlan` — the same wiring the differential
+    tests and falsifier witnesses rebuild runs from — so an experiment run
+    is reconstructible from its plan plus ``(protocol, detector config)``.
+    """
+    plan = ReplayPlan(
+        n=n,
+        duration=duration,
+        crashes=tuple(sorted((crashes or {}).items())),
+        inputs=tuple(
+            (pid, t, ("broadcast", payload)) for pid, t, payload in broadcasts
+        ),
+        seed=seed,
+        timeout_interval=timeout,
+        message_batch=4,
+        record=record,
+    )
     detector = _detector(
-        pattern,
+        plan.failure_pattern(),
         tau_omega=tau_omega,
         pre_behavior=pre_behavior,
         with_sigma=(quorum_mode == "sigma"),
@@ -520,17 +537,9 @@ def _run_broadcast_scenario(
         seed=seed,
     )
     factory = _broadcast_protocol(protocol, quorum_mode=quorum_mode)
-    sim = Simulation(
+    return run_plan(
+        plan,
         [factory() for _ in range(n)],
-        failure_pattern=pattern,
         detector=detector,
         delay_model=delay_model or FixedDelay(delay),
-        timeout_interval=timeout,
-        seed=seed,
-        message_batch=4,
-        record=record,
     )
-    for pid, t, payload in broadcasts:
-        sim.add_input(pid, t, ("broadcast", payload))
-    sim.run_until(duration)
-    return sim

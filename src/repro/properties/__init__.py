@@ -28,7 +28,11 @@ from repro.properties.detector_checker import check_omega_history, check_sigma_h
 from repro.properties.ec_checker import EcReport, check_ec
 from repro.properties.eic_checker import EicReport, check_eic
 from repro.properties.etob_checker import EtobReport, check_etob
-from repro.properties.run_checker import check_fairness, check_no_undelivered
+from repro.properties.run_checker import (
+    check_fairness,
+    check_no_undelivered,
+    fairness_slack,
+)
 from repro.properties.tob_checker import check_tob
 from repro.properties.urb_checker import UrbReport, check_urb
 
@@ -49,4 +53,5 @@ __all__ = [
     "check_tob",
     "check_urb",
     "extract_timeline",
+    "fairness_slack",
 ]

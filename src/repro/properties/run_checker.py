@@ -14,6 +14,35 @@ from __future__ import annotations
 
 from repro.sim.runs import RunRecord
 from repro.sim.scheduler import Simulation
+from repro.sim.types import Time
+
+
+def fairness_slack(run: RunRecord) -> Time:
+    """The run's worst fairness gap: the largest number of clock ticks any
+    correct process went without taking a step (including the tail from its
+    last step to the run's end). ``check_fairness(run, slack=s)`` is
+    equivalent to ``fairness_slack(run) <= s * run.n`` whenever every
+    correct process stepped at least once; a correct process that never
+    stepped yields ``run.end_time + 1`` (strictly larger than any
+    realizable gap on the run).
+
+    This is the falsifier's *fairness slack* objective read off a finished
+    record's :meth:`~repro.sim.runs.RunRecord.step_times` columns;
+    :class:`repro.sim.observers.StepGapProbe` computes the same value online
+    without retaining any steps.
+    """
+    worst: Time = 0
+    for pid in sorted(run.correct):
+        last_time = -1
+        for step_time in run.step_times(pid):
+            if last_time >= 0 and step_time - last_time > worst:
+                worst = step_time - last_time
+            last_time = step_time
+        if last_time < 0:
+            return run.end_time + 1
+        if run.end_time - last_time > worst:
+            worst = run.end_time - last_time
+    return worst
 
 
 def check_fairness(run: RunRecord, *, slack: int = 2) -> bool:

@@ -1,0 +1,305 @@
+"""The adversary envelope: what the falsifier is allowed to perturb.
+
+A falsification search is only meaningful against a *declared* adversary —
+the Lynch/Sastry timed-asynchronous fault model and Aspnes' adversary
+taxonomy (PAPERS.md) both start by fixing what the adversary controls and
+what it may never do. This module is that declaration, made executable:
+
+- :class:`IntParam` — one perturbable integer dimension with hard bounds:
+  a scheduler permutation key, an environment seed, a delay-distribution
+  parameter, a link stabilization time. ``kind="key"`` marks dimensions
+  that are *hash keys* (neighboring values are uncorrelated, so a local
+  nudge is meaningless — neighbors redraw them uniformly); ``kind="scalar"``
+  marks dimensions with metric structure (neighbors nudge them locally).
+- :class:`Envelope` — the full admissible region: the parameter box plus
+  the crash-pattern constraints (which processes may crash, inside which
+  time window, how many at most — strictly fewer than ``n/2`` when the
+  target's experiment assumes a correct majority).
+
+A *point* is one adversary choice: ``{param name: value, ...,
+"crashes": ((pid, t), ...)}`` with crashes sorted. All point generation is
+counter-based (pure in an integer ``key`` via
+:func:`~repro.sim.types.stable_hash`), so a recorded search replays
+identically on any machine and any worker count; ``tests/test_falsify.py``
+property-tests that :meth:`Envelope.random_point` and
+:meth:`Envelope.neighbor` can never leave the envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.sim.errors import ConfigurationError
+from repro.sim.types import ProcessId, Time, stable_hash
+
+__all__ = ["Envelope", "IntParam", "normalize_point", "point_key"]
+
+#: point values are dicts: param name -> int, plus "crashes" -> ((pid, t), ...)
+Point = dict
+
+
+@dataclass(frozen=True)
+class IntParam:
+    """One perturbable integer dimension with inclusive bounds.
+
+    ``kind="scalar"`` dimensions have metric structure — a neighbor nudges
+    the value by a small signed step (at most an eighth of the range), so
+    hill-climbing can exploit locality. ``kind="key"`` dimensions are hash
+    keys into counter-based RNG (permutation seeds, env seeds): adjacent
+    integers give uncorrelated behaviour, so a neighbor redraws them
+    uniformly instead of pretending a gradient exists.
+    """
+
+    name: str
+    lo: int
+    hi: int
+    kind: str = "scalar"
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ConfigurationError(
+                f"param {self.name!r}: need lo <= hi, got [{self.lo}, {self.hi}]"
+            )
+        if self.kind not in ("scalar", "key"):
+            raise ConfigurationError(
+                f"param {self.name!r}: kind must be 'scalar' or 'key', "
+                f"got {self.kind!r}"
+            )
+
+    def draw(self, key: int) -> int:
+        """A uniform value in ``[lo, hi]``, pure in ``key``."""
+        return self.lo + stable_hash("falsify-draw", key, self.name) % (
+            self.hi - self.lo + 1
+        )
+
+    def nudge(self, value: int, key: int) -> int:
+        """A neighboring value, pure in ``key``; clamped to the bounds."""
+        if self.kind == "key":
+            return self.draw(key)
+        span = self.hi - self.lo
+        if span == 0:
+            return self.lo
+        h = stable_hash("falsify-nudge", key, self.name)
+        step = 1 + (h >> 1) % max(1, span // 8)
+        moved = value + step if h & 1 else value - step
+        return min(self.hi, max(self.lo, moved))
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """The admissible adversary region for one falsification target.
+
+    ``params`` bounds every perturbable scalar/key dimension. Crash
+    patterns are constrained separately: victims must come from
+    ``crash_candidates``, crash times must lie in the half-open
+    ``crash_window``, and at most :attr:`crash_cap` processes may crash —
+    ``max_crashes``, further capped at ``(n - 1) // 2`` (strictly fewer
+    than half) when ``majority`` declares that the target's experiment
+    assumes a correct majority. GST-style constraints (a delay bound that
+    must eventually hold) are expressed through the *bounds* of the delay
+    parameters themselves: the envelope cannot name a point that violates
+    them, so the search space and the adversary model coincide.
+    """
+
+    n: int
+    params: tuple[IntParam, ...] = ()
+    crash_candidates: tuple[ProcessId, ...] = ()
+    crash_window: tuple[Time, Time] = (0, 0)
+    max_crashes: int = 0
+    majority: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"need n >= 1, got {self.n}")
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate param names in {names}")
+        if "crashes" in names:
+            raise ConfigurationError("'crashes' is the reserved crash dimension")
+        candidates = tuple(int(p) for p in self.crash_candidates)
+        for pid in candidates:
+            if not 0 <= pid < self.n:
+                raise ConfigurationError(
+                    f"crash candidate {pid} outside processes 0..{self.n - 1}"
+                )
+        if len(set(candidates)) != len(candidates):
+            raise ConfigurationError(f"duplicate crash candidates {candidates}")
+        object.__setattr__(self, "crash_candidates", candidates)
+        if self.max_crashes < 0:
+            raise ConfigurationError("max_crashes must be >= 0")
+        lo, hi = self.crash_window
+        if self.crash_cap > 0 and hi <= lo:
+            raise ConfigurationError(
+                f"crash window must be non-empty: [{lo}, {hi})"
+            )
+
+    @property
+    def crash_cap(self) -> int:
+        """Most processes any admissible point may crash."""
+        cap = min(self.max_crashes, len(self.crash_candidates))
+        if self.majority:
+            cap = min(cap, (self.n - 1) // 2)
+        return cap
+
+    # -- point generation ---------------------------------------------------
+
+    def random_point(self, key: int) -> Point:
+        """A uniform admissible point, pure in ``key``."""
+        point: Point = {
+            p.name: p.draw(stable_hash("falsify-point", key, i))
+            for i, p in enumerate(self.params)
+        }
+        point["crashes"] = self._random_crashes(stable_hash("falsify-crash", key))
+        return point
+
+    def _random_crashes(self, key: int) -> tuple[tuple[ProcessId, Time], ...]:
+        cap = self.crash_cap
+        if cap == 0:
+            return ()
+        count = stable_hash("crash-count", key) % (cap + 1)
+        if count == 0:
+            return ()
+        victims = sorted(
+            self.crash_candidates,
+            key=lambda p: (stable_hash("crash-victim", key, p), p),
+        )[:count]
+        lo, hi = self.crash_window
+        return tuple(
+            sorted(
+                (pid, lo + stable_hash("crash-time", key, pid) % (hi - lo))
+                for pid in victims
+            )
+        )
+
+    def neighbor(self, point: Point, key: int) -> Point:
+        """One admissible neighbor of ``point``, pure in ``key``.
+
+        Picks a single dimension — one param, or the crash pattern when the
+        envelope admits crashes — and perturbs only it: scalar params take a
+        local step, key params redraw, crash patterns move one crash time,
+        add a crash (cap permitting), or drop one. The result always
+        satisfies :meth:`contains`; it may equal ``point`` at the region's
+        corners (a rejected no-op move, harmless to the search).
+        """
+        dims = len(self.params) + (1 if self.crash_cap > 0 else 0)
+        if dims == 0:
+            return dict(point)
+        pick = stable_hash("falsify-dim", key) % dims
+        out = dict(point)
+        if pick < len(self.params):
+            param = self.params[pick]
+            out[param.name] = param.nudge(point[param.name], key)
+            return out
+        out["crashes"] = self._crash_neighbor(tuple(point["crashes"]), key)
+        return out
+
+    def _crash_neighbor(
+        self, crashes: tuple[tuple[ProcessId, Time], ...], key: int
+    ) -> tuple[tuple[ProcessId, Time], ...]:
+        lo, hi = self.crash_window
+        crashed = {pid for pid, __ in crashes}
+        free = [p for p in self.crash_candidates if p not in crashed]
+        ops = []
+        if crashes:
+            ops.append("move")
+            ops.append("drop")
+        if free and len(crashes) < self.crash_cap:
+            ops.append("add")
+        if not ops:
+            return crashes
+        op = ops[stable_hash("crash-op", key) % len(ops)]
+        if op == "move":
+            i = stable_hash("crash-pick", key) % len(crashes)
+            pid, t = crashes[i]
+            span = hi - lo
+            step = 1 + stable_hash("crash-step", key) % max(1, span // 8)
+            moved = t + step if stable_hash("crash-sign", key) & 1 else t - step
+            moved = min(hi - 1, max(lo, moved))
+            return tuple(sorted(crashes[:i] + ((pid, moved),) + crashes[i + 1:]))
+        if op == "drop":
+            i = stable_hash("crash-pick", key) % len(crashes)
+            return crashes[:i] + crashes[i + 1:]
+        pid = free[stable_hash("crash-pick", key) % len(free)]
+        t = lo + stable_hash("crash-time", key, pid) % (hi - lo)
+        return tuple(sorted(crashes + ((pid, t),)))
+
+    # -- membership ---------------------------------------------------------
+
+    def contains(self, point: Point) -> bool:
+        """True iff ``point`` lies inside the envelope."""
+        try:
+            self.validate(point)
+        except ConfigurationError:
+            return False
+        return True
+
+    def validate(self, point: Point) -> None:
+        """Raise :class:`ConfigurationError` unless ``point`` is admissible."""
+        expected = {p.name for p in self.params} | {"crashes"}
+        got = set(point)
+        if got != expected:
+            raise ConfigurationError(
+                f"point dimensions {sorted(got)} != envelope {sorted(expected)}"
+            )
+        for param in self.params:
+            value = point[param.name]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"param {param.name!r} must be an int, got {value!r}"
+                )
+            if not param.lo <= value <= param.hi:
+                raise ConfigurationError(
+                    f"param {param.name!r}={value} outside "
+                    f"[{param.lo}, {param.hi}]"
+                )
+        crashes = tuple(tuple(entry) for entry in point["crashes"])
+        if len(crashes) > self.crash_cap:
+            raise ConfigurationError(
+                f"{len(crashes)} crashes exceed the cap {self.crash_cap}"
+                + (" (majority assumed)" if self.majority else "")
+            )
+        seen: set[ProcessId] = set()
+        lo, hi = self.crash_window
+        for pid, t in crashes:
+            if pid not in self.crash_candidates:
+                raise ConfigurationError(f"process {pid} may not crash here")
+            if pid in seen:
+                raise ConfigurationError(f"process {pid} crashes twice")
+            seen.add(pid)
+            if not lo <= t < hi:
+                raise ConfigurationError(
+                    f"crash time {t} outside the window [{lo}, {hi})"
+                )
+
+    def walk(self, key: int, steps: int) -> Iterator[Point]:
+        """A deterministic perturbation walk: random start, then neighbors."""
+        point = self.random_point(stable_hash("walk-start", key))
+        yield point
+        for i in range(steps):
+            point = self.neighbor(point, stable_hash("walk-step", key, i))
+            yield point
+
+
+def normalize_point(point: Point) -> Point:
+    """A canonical in-memory point from any serialized rendering.
+
+    JSON round-trips turn the crash tuple into nested lists; this restores
+    ``crashes`` to a sorted tuple of ``(pid, t)`` int pairs and coerces
+    param values back to ints, so validation, hashing, and counter-based
+    replay see the identical value the search produced.
+    """
+    out: Point = {
+        name: int(value) for name, value in point.items() if name != "crashes"
+    }
+    out["crashes"] = tuple(
+        sorted((int(pid), int(t)) for pid, t in point.get("crashes", ()))
+    )
+    return out
+
+
+def point_key(point: Point) -> tuple:
+    """A hashable identity for a point (param items sorted, crashes last)."""
+    return tuple(
+        sorted((k, v) for k, v in point.items() if k != "crashes")
+    ) + (tuple(tuple(c) for c in point["crashes"]),)

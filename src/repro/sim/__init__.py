@@ -69,8 +69,16 @@ from repro.sim.observers import (
     OutputsRecorder,
     RunMetrics,
     SimObserver,
+    StepGapProbe,
 )
 from repro.sim.process import Process
+from repro.sim.replay import (
+    ReplayPlan,
+    build_simulation,
+    replay_simulation,
+    run_digest,
+    run_plan,
+)
 from repro.sim.runs import RunRecord, StepRecord, StepStore
 from repro.sim.scheduler import Simulation
 from repro.sim.stack import Layer, LayerContext, ProtocolStack
@@ -115,12 +123,18 @@ __all__ = [
     "Process",
     "ProtocolStack",
     "RECORD_LEVELS",
+    "ReplayPlan",
     "RunMetrics",
     "RunRecord",
     "SimObserver",
     "Simulation",
     "SimulationError",
+    "StepGapProbe",
     "StepRecord",
     "StepStore",
     "UniformRandomDelay",
+    "build_simulation",
+    "replay_simulation",
+    "run_digest",
+    "run_plan",
 ]

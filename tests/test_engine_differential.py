@@ -24,10 +24,12 @@ from repro.sim import (
     FixedDelay,
     GstDelay,
     ProtocolStack,
+    ReplayPlan,
     RunMetrics,
     SimObserver,
     Simulation,
     UniformRandomDelay,
+    build_simulation,
 )
 
 #: seeds for the randomized differential sweep (acceptance: >= 20 scenarios).
@@ -77,31 +79,41 @@ def random_config(seed: int) -> dict:
     }
 
 
+def config_plan(config: dict) -> ReplayPlan:
+    """The declarative half of a random config, as the shared replay plan."""
+    timeout = config["timeout"]
+    return ReplayPlan(
+        n=config["n"],
+        duration=config["horizon"],
+        crashes=tuple(sorted(config["crashes"].items())),
+        inputs=tuple(
+            (pid, t, ("broadcast", payload))
+            for pid, t, payload in config["broadcasts"]
+        ),
+        seed=13,
+        timeout_interval=tuple(timeout) if isinstance(timeout, list) else timeout,
+        scheduling=config["scheduling"],
+        message_batch=config["message_batch"],
+    )
+
+
 def build_sim(
     config: dict, *, engine: str, record: str = "full", observers=(), **sim_kwargs
 ) -> Simulation:
-    n = config["n"]
-    pattern = FailurePattern.crash(n, config["crashes"])
+    plan = config_plan(config)
     detector = OmegaDetector(stabilization_time=config["tau"]).history(
-        pattern, seed=7
+        plan.failure_pattern(), seed=7
     )
-    sim = Simulation(
-        [ProtocolStack([EtobLayer()]) for _ in range(n)],
-        failure_pattern=pattern,
+    return build_simulation(
+        plan,
+        [ProtocolStack([EtobLayer()]) for _ in range(plan.n)],
         detector=detector,
         delay_model=config["delay_model"](),
-        timeout_interval=config["timeout"],
-        seed=13,
-        scheduling=config["scheduling"],
-        message_batch=config["message_batch"],
+        observers=observers,
         engine=engine,
         record=record,
-        observers=observers,
         **sim_kwargs,
     )
-    for pid, t, payload in config["broadcasts"]:
-        sim.add_input(pid, t, ("broadcast", payload))
-    return sim
 
 
 def run_sim(sim: Simulation, config: dict) -> Simulation:

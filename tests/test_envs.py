@@ -303,6 +303,64 @@ class TestLinkPolicies:
             assert 1 <= model.delay(0, 1, t) <= 2
         assert 1 <= model.delay(2, 3, 0) <= 2  # default stabilizes at 0
 
+    def test_eventually_stable_clamps_a_never_delay_base(self):
+        # A permanent one-way blackout underneath: the base returns >= NEVER
+        # scale delays, but the stability clamp must still land every
+        # pre-stabilization message by stable_at + post_delay, and every
+        # post-stabilization message within post_delay. "Eventually stable"
+        # is a promise about the *wrapped* link, whatever the base does.
+        model = EventuallyStableLinks(
+            OneWayPartition(FixedDist(2), edges=((0, 1),), start=0),
+            post_delay=3,
+            stable_at=(((0, 1), 120),),
+            seed=5,
+        )
+        for t in range(120):
+            assert t + model.delay(0, 1, t) <= 120 + 3
+        for t in range(120, 240):
+            assert 1 <= model.delay(0, 1, t) <= 3
+
+    @settings(max_examples=40)
+    @given(
+        t=st.integers(min_value=0, max_value=400),
+        stable_from=st.integers(min_value=0, max_value=300),
+        post=st.integers(min_value=1, max_value=6),
+    )
+    def test_nested_policy_stack_still_respects_stabilizes_at(
+        self, t, stable_from, post
+    ):
+        # A three-deep nest (stability clamp over flapping over a one-way
+        # blackout): whatever holds the inner policies impose, the outermost
+        # EventuallyStableLinks bound is what EnvBounds promises, so the
+        # delivery deadline max(t, stable_from) + post must survive nesting.
+        base = OneWayPartition(
+            FixedDist(2), edges=((0, 1),), start=50, end=200
+        )
+        flapping = FlappingLinks(base, pairs=((0, 1),), period=16, down=6)
+        model = EventuallyStableLinks(
+            flapping,
+            post_delay=post,
+            stable_at=(((0, 1), stable_from),),
+            seed=11,
+        )
+        delay = model.delay(0, 1, t)
+        assert delay >= 1
+        assert t + delay <= max(t, stable_from) + post
+
+    def test_late_links_bounds_hold_empirically(self):
+        # The registered "late-links" environment declares EnvBounds; the
+        # declaration must match what its delay model actually does — EXP-4
+        # computes Lemma 3 bounds from exactly these two numbers.
+        env = make_env("late-links", seed=13, base_delay=3)
+        stable, post = env.bounds.stabilizes_at, env.bounds.post_bound
+        for sender in range(N):
+            for receiver in range(N):
+                if sender == receiver:
+                    continue
+                for t in range(0, stable + 100, 7):
+                    delay = env.delay.delay(sender, receiver, t)
+                    assert t + delay <= max(t, stable) + post
+
     def test_outage_holds_messages_of_listed_pids(self):
         model = NodeOutage(
             FixedDist(2), pids=(1,), windows=((10, 30), (50, 60))
@@ -336,6 +394,42 @@ class TestChurnSchedule:
         schedule = ChurnSchedule(waves=((10, 99),), min_survivors=2)
         pattern = schedule.pattern(5, seed=0)
         assert len(pattern.correct) == 2
+
+    def test_crash_tick_is_inclusive(self):
+        # crashed(p, t) at exactly the wave tick: F is right-continuous —
+        # the victim takes no step at the crash tick itself.
+        pattern = ChurnSchedule(waves=((50, 1),)).pattern(3, seed=0)
+        (victim,) = pattern.faulty
+        assert not pattern.crashed(victim, 49)
+        assert pattern.crashed(victim, 50)
+        assert victim in pattern.alive_at(49)
+        assert victim not in pattern.alive_at(50)
+
+    def test_stagger_boundary_mid_wave_truncation(self):
+        # Budget runs out inside a staggered wave: exactly the first
+        # `budget` slots crash, at times at + slot * stagger, and the
+        # remaining slots are spared (not squeezed into earlier ticks).
+        schedule = ChurnSchedule(waves=((50, 3),), stagger=5, min_survivors=2)
+        pattern = schedule.pattern(4, seed=1)
+        assert sorted(pattern.crash_times.values()) == [50, 55]
+        assert len(pattern.correct) == 2
+
+    def test_truncation_spans_waves_in_time_order(self):
+        # Waves render sorted by time even when declared out of order, and
+        # the survivor budget is consumed in that sorted order — the later
+        # wave is the one truncated.
+        schedule = ChurnSchedule(
+            waves=((200, 2), (10, 2)), stagger=3, min_survivors=1
+        )
+        pattern = schedule.pattern(4, seed=2)
+        assert sorted(pattern.crash_times.values()) == [10, 13, 200]
+
+    def test_zero_stagger_and_wave_at_time_zero(self):
+        # stagger=0 collapses a wave onto one tick; a wave at t=0 is legal
+        # and crashes its victims before they ever step.
+        pattern = ChurnSchedule(waves=((0, 2),), stagger=0).pattern(5, seed=3)
+        assert sorted(pattern.crash_times.values()) == [0, 0]
+        assert len(pattern.alive_at(0)) == 3
 
     def test_validation(self):
         with pytest.raises(ValueError):
