@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""The service from the outside: clients, retries, failover.
+"""The service from the outside: an open-loop workload, retries, failover.
 
 Three replicas run an eventually consistent KV store (Algorithm 5 + replica
-layer + client-serving layer); two *client* processes — plain processes, not
-part of the replication group — submit commands over the network. One
-client's sticky replica crashes mid-run: the client times out, fails over to
-the next replica, and still gets its answer. Both clients observe the same
-eventually consistent store.
+layer + client-serving layer) as a protocol group; two open-loop *client*
+processes from :mod:`repro.workload` — plain processes outside the group —
+generate a Zipf-keyed read/write schedule against it, while a streaming
+:class:`~repro.workload.LatencyObserver` folds their outputs into tail
+latency percentiles. One client's sticky replica crashes mid-run: the
+client times out, fails over to the next replica, and still gets its
+answers — the failover cost shows up honestly in the measured tail.
 
 Run:  python examples/service_clients.py
 """
@@ -21,22 +23,39 @@ from repro import (
     ReplicaLayer,
     Simulation,
 )
-from repro.replication.client import ClientProcess, ClientServingLayer
+from repro.replication.client import ClientServingLayer
+from repro.workload import (
+    LatencyObserver,
+    WorkloadSpec,
+    final_arrival,
+    population,
+)
 
 REPLICAS = 3
-CLIENTS = 2  # pids 3 and 4
+SPEC = WorkloadSpec(
+    clients=2,  # pids 3 and 4
+    ops_per_client=8,
+    mean_gap=60,
+    keys=8,
+    read_fraction=0.4,
+    seed=11,
+)
 
 
 def main() -> None:
-    n = REPLICAS + CLIENTS
+    n = REPLICAS + SPEC.clients
     # Replica p0 — client 3's sticky target — crashes at t=120.
     pattern = FailurePattern.crash(n, {0: 120})
     omega = OmegaDetector(stabilization_time=0, leader=1).history(pattern)
     replica_ids = list(range(REPLICAS))
     processes = [
-        ProtocolStack([EtobLayer(), ReplicaLayer(KvStore()), ClientServingLayer()])
+        ProtocolStack(
+            [EtobLayer(), ReplicaLayer(KvStore()), ClientServingLayer()],
+            group_size=REPLICAS,
+        )
         for _ in range(REPLICAS)
-    ] + [ClientProcess(replica_ids, retry_after=70) for _ in range(CLIENTS)]
+    ] + population(SPEC, replica_ids, retry_after=70)
+    observer = LatencyObserver(range(REPLICAS, n))
 
     sim = Simulation(
         processes,
@@ -45,22 +64,28 @@ def main() -> None:
         delay_model=FixedDelay(3),
         timeout_interval=4,
         message_batch=4,
+        observers=[observer],
     )
+    sim.run_until(final_arrival(SPEC) + 900)
 
-    # Client 3 targets p0 (which dies); client 4 also starts at p0.
-    sim.add_input(3, 50, ("submit", ("set", "motd", "hello")))
-    sim.add_input(3, 200, ("submit", ("set", "count", 1)))
-    sim.add_input(4, 260, ("submit", ("cas", "count", 1, 2)))
-    sim.add_input(4, 420, ("submit", ("get", "motd")))
-    sim.run_until(1500)
-
-    for client in (3, 4):
+    for client in range(REPLICAS, n):
         print(f"client p{client}:")
         for t, (rid, target) in sim.run.tagged_outputs(client, "client-retry"):
             print(f"  t={t:4d}  request {rid}: timed out, failing over to p{target}")
         for t, (rid, result) in sim.run.tagged_outputs(client, "client-response"):
             print(f"  t={t:4d}  request {rid} -> {result!r}")
         print()
+
+    summary = observer.summary()
+    print(
+        f"workload: {summary.completed}/{summary.submitted} ops served, "
+        f"{summary.retries} failover retries"
+    )
+    print(
+        f"latency ticks: p50={summary.p50} p95={summary.p95} "
+        f"p99={summary.p99} max={summary.max}"
+    )
+    print()
 
     print("Replica states:")
     for pid in range(REPLICAS):

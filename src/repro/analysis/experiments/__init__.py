@@ -1,4 +1,4 @@
-"""Scenario runners for the reproduction experiments (EXP-1 .. EXP-10).
+"""Scenario runners for the reproduction experiments (EXP-1 .. EXP-11).
 
 Formerly a single 841-line module, the experiments now live in small modules
 that register themselves with the registry in
@@ -12,6 +12,7 @@ that register themselves with the registry in
 - :mod:`~repro.analysis.experiments.cht` — EXP-7
 - :mod:`~repro.analysis.experiments.eic` — EXP-9
 - :mod:`~repro.analysis.experiments.heartbeat` — EXP-10c
+- :mod:`~repro.analysis.experiments.workload` — EXP-11
 
 Each ``exp_*`` function runs the simulations for one experiment of
 EXPERIMENTS.md and returns an :class:`ExperimentResult` holding structured
@@ -58,6 +59,7 @@ from repro.analysis.experiments.causal import exp_ablation_churn, exp_causal
 from repro.analysis.experiments.cht import exp_cht_extraction
 from repro.analysis.experiments.eic import exp_eic
 from repro.analysis.experiments.heartbeat import exp_ablation_heartbeat_gst
+from repro.analysis.experiments.workload import exp_workload_latency
 
 #: registry used by the report generator and the benchmark harness, in
 #: EXP-number order (kept as a plain name → callable map for compatibility).
@@ -76,6 +78,7 @@ ALL_EXPERIMENTS = {
         "EXP-10a",
         "EXP-10b",
         "EXP-10c",
+        "EXP-11",
     )
 }
 
@@ -106,4 +109,5 @@ __all__ = [
     "exp_etob_stabilization",
     "exp_partition_gap",
     "exp_tob_mode",
+    "exp_workload_latency",
 ]

@@ -108,18 +108,31 @@ class ClientProcess(Process):
         *,
         retry_after: Time = 60,
         max_retries: int = 8,
+        retain_results: bool = True,
     ) -> None:
         if not replicas:
             raise ProtocolError("a client needs at least one replica")
         self.replicas = list(replicas)
         self.retry_after = retry_after
         self.max_retries = max_retries
+        #: When False, per-request state is dropped as soon as a request
+        #: resolves: ``results``/``gave_up`` stay empty and only the counters
+        #: below grow — the O(outstanding) memory mode the open-loop workload
+        #: driver (:mod:`repro.workload`) runs millions of operations in.
+        #: First-reply detection then uses ``pending`` membership, so a
+        #: duplicate reply from an at-least-once retry still counts once.
+        self.retain_results = retain_results
         self._target_index = 0
         self._next_rid = 0
         #: rid -> (command, last send time, retries)
         self.pending: dict[int, tuple[tuple, Time, int]] = {}
         self.results: dict[int, Any] = {}
         self.gave_up: set[int] = set()
+        #: aggregate counters, maintained in both memory modes.
+        self.completed = 0
+        self.revised = 0
+        self.retried = 0
+        self.gave_up_count = 0
 
     def _target(self) -> ProcessId:
         return self.replicas[self._target_index % len(self.replicas)]
@@ -137,13 +150,22 @@ class ClientProcess(Process):
         if not isinstance(payload, Reply):
             return
         if payload.revised:
-            self.results[payload.rid] = payload.result
+            self.revised += 1
+            if self.retain_results:
+                self.results[payload.rid] = payload.result
             ctx.output(("client-revised", payload.rid, payload.result))
             return
-        if payload.rid in self.pending:
+        was_pending = payload.rid in self.pending
+        if was_pending:
             del self.pending[payload.rid]
-        if payload.rid not in self.results:
-            self.results[payload.rid] = payload.result
+        if self.retain_results:
+            first = payload.rid not in self.results
+            if first:
+                self.results[payload.rid] = payload.result
+        else:
+            first = was_pending
+        if first:
+            self.completed += 1
             ctx.output(("client-response", payload.rid, payload.result))
 
     def on_timeout(self, ctx: Context) -> None:
@@ -151,7 +173,9 @@ class ClientProcess(Process):
             if ctx.time - sent_at < self.retry_after:
                 continue
             if retries >= self.max_retries:
-                self.gave_up.add(rid)
+                if self.retain_results:
+                    self.gave_up.add(rid)
+                self.gave_up_count += 1
                 del self.pending[rid]
                 ctx.output(("client-gave-up", rid))
                 continue
@@ -160,4 +184,5 @@ class ClientProcess(Process):
             target = self._target()
             self.pending[rid] = (command, ctx.time, retries + 1)
             ctx.send(target, Request(rid, command))
+            self.retried += 1
             ctx.output(("client-retry", rid, target))

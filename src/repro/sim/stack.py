@@ -88,7 +88,15 @@ class LayerContext:
 
     @property
     def n(self) -> int:
-        return self._base.n
+        """The size of this stack's protocol group.
+
+        Equal to the simulation's process count unless the stack was built
+        with ``group_size`` — then the layers see only the group (quorum
+        arithmetic, rotating-coordinator indexing and ``send_all`` all scale
+        to the group, not to whatever client processes share the simulation).
+        """
+        group = self._stack.group_size
+        return group if group is not None else self._base.n
 
     @property
     def time(self) -> int:
@@ -118,8 +126,20 @@ class LayerContext:
 
         One framing tuple is shared across all receivers (the scheduler's
         batched broadcast path shares the payload reference per envelope).
+        Under a ``group_size`` the broadcast reaches only the group — sent
+        point-to-point in ascending pid order, exactly the order the batched
+        expansion would have used.
         """
-        self._base.send_all((self.index, payload), include_self=include_self)
+        group = self._stack.group_size
+        if group is None:
+            self._base.send_all((self.index, payload), include_self=include_self)
+            return
+        framed = (self.index, payload)
+        me = self._base.pid
+        for receiver in range(group):
+            if receiver == me and not include_self:
+                continue
+            self._base.send(receiver, framed)
 
     def send_raw(self, receiver: ProcessId, payload: Any) -> None:
         """Send without stack framing — for non-stack peers (e.g. clients)."""
@@ -149,16 +169,39 @@ class LayerContext:
 class ProtocolStack(Process):
     """A process automaton composed of protocol layers."""
 
-    def __init__(self, layers: Sequence[Layer]) -> None:
+    def __init__(
+        self, layers: Sequence[Layer], *, group_size: int | None = None
+    ) -> None:
         if not layers:
             raise ConfigurationError("a protocol stack needs at least one layer")
+        if group_size is not None and group_size < 1:
+            raise ConfigurationError("group_size must be >= 1")
         self.layers = list(layers)
+        #: When set, the protocol group is pids ``0..group_size-1``: the
+        #: layers' view of ``n`` (quorums, coordinator rotation) and their
+        #: broadcasts cover only the group. Processes above the group — e.g.
+        #: open-loop clients (:mod:`repro.workload`) — share the simulation
+        #: without being counted as protocol participants. The group is a
+        #: contiguous pid prefix by construction so that every existing
+        #: layer's ``pid``-from-index arithmetic stays valid.
+        self.group_size = group_size
         self._pending: deque[tuple[int, str, Any]] = deque()
 
     def attach(self, pid: ProcessId, n: int) -> None:
         super().attach(pid, n)
+        group = self.group_size
+        if group is not None:
+            if group > n:
+                raise ConfigurationError(
+                    f"group_size {group} exceeds simulation size {n}"
+                )
+            if pid >= group:
+                raise ConfigurationError(
+                    f"stack with group_size {group} attached at pid {pid} "
+                    "outside its own group"
+                )
         for layer in self.layers:
-            layer.attach(pid, n)
+            layer.attach(pid, group if group is not None else n)
 
     # -- layer lookup --------------------------------------------------------------
 

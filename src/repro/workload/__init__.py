@@ -1,0 +1,40 @@
+"""Open-loop client workloads with streaming tail-latency metrics.
+
+The measurement counterpart of :mod:`repro.sim.envs`: where the environment
+models shape what the *network* does, this package shapes what the *clients*
+do — counter-based open-loop populations (:mod:`repro.workload.population`),
+a fused-loop-compatible streaming latency observer
+(:mod:`repro.workload.observer`), and ready-made serving stacks from
+coordination-free KV servers up to Paxos (:mod:`repro.workload.scenario`).
+Experiment EXP-11 sweeps the cross product.
+"""
+
+from repro.workload.observer import (
+    LatencyObserver,
+    WorkloadSummary,
+    latency_from_run,
+)
+from repro.workload.population import (
+    OpenLoopClient,
+    WorkloadSpec,
+    arrival_gap,
+    final_arrival,
+    op_command,
+    population,
+)
+from repro.workload.scenario import STACKS, KvServerProcess, workload_sim
+
+__all__ = [
+    "STACKS",
+    "KvServerProcess",
+    "LatencyObserver",
+    "OpenLoopClient",
+    "WorkloadSpec",
+    "WorkloadSummary",
+    "arrival_gap",
+    "final_arrival",
+    "latency_from_run",
+    "op_command",
+    "population",
+    "workload_sim",
+]

@@ -1,0 +1,227 @@
+"""Streaming tail-latency measurement, fused-loop compatible.
+
+:class:`LatencyObserver` folds the client processes' step outputs into a
+:class:`~repro.analysis.metrics.LatencyHistogram` as the run executes. It
+overrides **both** ``on_step`` and ``on_step_raw`` (behaviourally identical),
+so attaching it keeps the scheduler's raw columnar path intact and — together
+with ``record="metrics"`` — keeps the packed kernel's fused round-robin loop
+eligible: the million-op benchmark measures latency percentiles without the
+engine ever materializing a ``StepRecord`` or the observer retaining a
+per-operation object (in-flight arrival ticks are plain ints keyed by rid,
+bounded by outstanding requests).
+
+:func:`latency_from_run` recomputes the identical summary post hoc from a
+``full``- or ``outputs``-fidelity run record's output history (the same
+per-``(tick, value)`` pairs the ``StepStore`` columns carry) — the
+differential oracle ``tests/test_workload.py`` pins the streaming observer
+against across kernels and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.analysis.metrics import LatencyHistogram
+from repro.sim.observers import SimObserver
+from repro.sim.runs import RunRecord, StepRecord
+from repro.sim.types import ProcessId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.scheduler import Simulation
+
+__all__ = ["LatencyObserver", "WorkloadSummary", "latency_from_run"]
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """The workload-level outcome of one run, all integer-derived.
+
+    Latency percentiles are in ticks from *scheduled arrival* to first
+    response (bucket floors of the histogram — see
+    :class:`~repro.analysis.metrics.LatencyHistogram` for the error bound);
+    ``throughput`` is completed operations per 1000 ticks of the span from
+    first scheduled arrival to last completion. Every field is a pure
+    function of the simulated event stream, so summaries are byte-comparable
+    across workers, backends, and kernels.
+    """
+
+    submitted: int
+    completed: int
+    gave_up: int
+    retries: int
+    revised: int
+    p50: int | None
+    p95: int | None
+    p99: int | None
+    mean: float | None
+    max: int | None
+    span: Time
+    throughput: float
+
+    @property
+    def served(self) -> bool:
+        """Every submitted operation completed (no give-ups, none in flight)."""
+        return self.submitted > 0 and self.completed == self.submitted
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "gave_up": self.gave_up,
+            "retries": self.retries,
+            "revised": self.revised,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "mean": self.mean,
+            "max": self.max,
+            "span": self.span,
+            "throughput": self.throughput,
+            "served": self.served,
+        }
+
+
+class _LatencyFold:
+    """The shared fold: client outputs -> histogram + counters.
+
+    One code path serves the streaming observer and the post-hoc
+    recomputation, so the two cannot drift apart.
+    """
+
+    def __init__(self, client_pids: Iterable[ProcessId], precision_bits: int) -> None:
+        self.clients = frozenset(client_pids)
+        if not self.clients:
+            raise ValueError("LatencyObserver needs at least one client pid")
+        self.histogram = LatencyHistogram(precision_bits)
+        #: per client: rid -> scheduled arrival tick (ints only; bounded by
+        #: in-flight requests, not by operations issued).
+        self._inflight: dict[ProcessId, dict[int, Time]] = {
+            pid: {} for pid in self.clients
+        }
+        self.submitted = 0
+        self.completed = 0
+        self.gave_up = 0
+        self.retries = 0
+        self.revised = 0
+        self.first_arrival: Time | None = None
+        self.last_completion: Time | None = None
+
+    def fold(self, t: Time, pid: ProcessId, outputs: tuple) -> None:
+        if pid not in self.clients or not outputs:
+            return
+        inflight = self._inflight[pid]
+        for out in outputs:
+            if not (isinstance(out, tuple) and out):
+                continue
+            tag = out[0]
+            if tag == "client-submit":
+                __, rid, arrival = out
+                inflight[rid] = arrival
+                self.submitted += 1
+                if self.first_arrival is None or arrival < self.first_arrival:
+                    self.first_arrival = arrival
+            elif tag == "client-response":
+                arrival = inflight.pop(out[1], None)
+                if arrival is None:
+                    continue  # a reply to a non-workload ("submit",) input
+                self.histogram.add(t - arrival)
+                self.completed += 1
+                if self.last_completion is None or t > self.last_completion:
+                    self.last_completion = t
+            elif tag == "client-retry":
+                self.retries += 1
+            elif tag == "client-gave-up":
+                if inflight.pop(out[1], None) is not None:
+                    self.gave_up += 1
+            elif tag == "client-revised":
+                self.revised += 1
+
+    def summary(self) -> WorkloadSummary:
+        hist = self.histogram
+        empty = hist.count == 0
+        if self.first_arrival is None or self.last_completion is None:
+            span = 0
+        else:
+            span = self.last_completion - self.first_arrival
+        throughput = (
+            0.0 if span <= 0 else round(self.completed * 1000.0 / span, 6)
+        )
+        return WorkloadSummary(
+            submitted=self.submitted,
+            completed=self.completed,
+            gave_up=self.gave_up,
+            retries=self.retries,
+            revised=self.revised,
+            p50=None if empty else hist.percentile(50),
+            p95=None if empty else hist.percentile(95),
+            p99=None if empty else hist.percentile(99),
+            mean=None if empty else round(hist.mean(), 6),
+            max=None if empty else hist.max_value,
+            span=span,
+            throughput=throughput,
+        )
+
+
+class LatencyObserver(SimObserver):
+    """Streaming open-loop latency/throughput metrics over client outputs.
+
+    Attach alongside any recording level; with ``record="metrics"`` on the
+    packed kernel the run still takes the fused loop (both attached step
+    observers are raw-capable). ``wants_idle_steps`` stays False — client
+    submissions and replies only ever happen on executed steps — so idle
+    fast-forwarding is unaffected.
+    """
+
+    wants_idle_steps = False
+
+    def __init__(
+        self, client_pids: Iterable[ProcessId], *, precision_bits: int = 9
+    ) -> None:
+        self._fold = _LatencyFold(client_pids, precision_bits)
+
+    @property
+    def histogram(self) -> LatencyHistogram:
+        return self._fold.histogram
+
+    def on_step(self, sim: "Simulation", record: StepRecord) -> None:
+        self._fold.fold(record.time, record.pid, record.outputs)
+
+    def on_step_raw(
+        self, sim, index, t, pid, sender, payload, send_time, fd_value,
+        inputs, outputs, timeout_fired, sent, received_count,
+    ) -> None:
+        self._fold.fold(t, pid, outputs)
+
+    def summary(self) -> WorkloadSummary:
+        return self._fold.summary()
+
+
+def latency_from_run(
+    run: RunRecord,
+    client_pids: Iterable[ProcessId],
+    *,
+    precision_bits: int = 9,
+) -> WorkloadSummary:
+    """Recompute the workload summary from a retained run record.
+
+    Needs ``record="full"`` or ``record="outputs"`` (an output history). The
+    outputs of each client are folded in (tick, emission) order — exactly the
+    order the streaming observer saw them — so the result is *equal* to the
+    live :class:`LatencyObserver`'s, which the differential tests pin across
+    kernels and worker counts.
+    """
+    fold = _LatencyFold(client_pids, precision_bits)
+    merged: list[tuple[Time, int, ProcessId, Any]] = []
+    for pid in sorted(fold.clients):
+        history = run.output_history.get(pid, [])
+        # A single client's outputs are already time-ordered; the per-pid
+        # emission index breaks same-tick ties without comparing payloads.
+        merged.extend(
+            (t, position, pid, value)
+            for position, (t, value) in enumerate(history)
+        )
+    merged.sort(key=lambda item: (item[0], item[2], item[1]))
+    for t, __, pid, value in merged:
+        fold.fold(t, pid, (value,))
+    return fold.summary()

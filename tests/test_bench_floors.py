@@ -86,6 +86,7 @@ class TestCommittedBaselines:
             "smoke_benchmark",
             "bench_dataplane",
             "bench_report_wallclock",
+            "bench_workload",
         }
         for spec in (baselines[k] for k in benches):
             assert spec["artifact"].endswith(".json")
@@ -109,3 +110,16 @@ class TestCommittedBaselines:
             bench_dataplane.REQUIRED_MEMORY_RATIO
             == baselines["bench_dataplane"]["floors"]["memory_ratio"]
         )
+
+    def test_workload_bench_reads_floors_from_baselines(self):
+        from benchmarks import bench_workload
+
+        baselines = json.loads(BASELINES_PATH.read_text())
+        floors = baselines["bench_workload"]["floors"]
+        assert bench_workload.REQUIRED_OPS_PER_SEC == floors["ops_per_sec"]
+        assert bench_workload.REQUIRED_OPS_PER_MIB == floors["ops_per_mib"]
+        assert baselines["bench_workload"]["require"] == {
+            "pinned": True,
+            "scale_served": True,
+            "memory_served": True,
+        }

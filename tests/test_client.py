@@ -119,3 +119,102 @@ class TestLocalInvocationStillWorks:
         assert all(s == {"local": 1} for s in states)
         # The local response is still recorded in the run outputs.
         assert sim.run.tagged_outputs(0, "response")
+
+
+class TestBoundedClientMode:
+    """retain_results=False: counters only, memory bounded by in-flight ops."""
+
+    def bounded_sim(self, **kwargs):
+        sim = service_sim(**kwargs)
+        # Rebuild the client in bounded mode (same pids, same replicas).
+        replicas = sim.processes[3].replicas
+        bounded = ClientProcess(
+            replicas,
+            retry_after=sim.processes[3].retry_after,
+            retain_results=False,
+        )
+        sim.processes[3] = bounded
+        return sim, bounded
+
+    def test_counters_replace_result_retention(self):
+        sim, client = self.bounded_sim()
+        sim.add_input(3, 20, ("submit", ("set", "k", 42)))
+        sim.add_input(3, 120, ("submit", ("get", "k")))
+        sim.run_until(800)
+        assert client.completed == 2
+        assert client.results == {} and client.gave_up == set()
+        responses = sim.run.tagged_outputs(3, "client-response")
+        assert [rid for __, (rid, _r) in responses] == [0, 1]
+
+    def test_duplicate_reply_after_failover_counts_once(self):
+        # Crash the sticky replica mid-flight: the failover retry can make
+        # two replicas answer the same rid; pending-membership must count
+        # the completion exactly once.
+        sim, client = self.bounded_sim(crashes={0: 30}, retry_after=60)
+        sim.add_input(3, 20, ("submit", ("set", "k", 7)))
+        sim.run_until(1500)
+        assert client.completed == 1
+        assert client.retried >= 1
+        assert len(sim.run.tagged_outputs(3, "client-response")) == 1
+
+    def test_gave_up_counter_without_retained_set(self):
+        sim = service_sim(
+            replicas=2, clients=1, crashes={0: 5, 1: 5}, retry_after=30
+        )
+        replicas = sim.processes[2].replicas
+        client = ClientProcess(
+            replicas, retry_after=30, max_retries=2, retain_results=False
+        )
+        sim.processes[2] = client
+        sim.add_input(2, 20, ("submit", ("set", "k", 1)))
+        sim.run_until(2000)
+        assert client.gave_up_count == 1
+        assert client.gave_up == set()
+        assert sim.run.tagged_outputs(2, "client-gave-up")
+
+    def test_default_mode_still_retains_results(self):
+        sim = service_sim()
+        sim.add_input(3, 20, ("submit", ("set", "k", 42)))
+        sim.run_until(600)
+        client = sim.processes[3]
+        assert client.results == {0: 42}
+        assert client.completed == 1
+
+
+class TestOpenLoopClientFailover:
+    def test_open_loop_client_survives_sticky_replica_crash(self):
+        from repro.workload import LatencyObserver, WorkloadSpec, population
+
+        spec = WorkloadSpec(
+            clients=1, ops_per_client=6, mean_gap=50, start=20, seed=3
+        )
+        n = 3 + spec.clients
+        pattern = FailurePattern.crash(n, {0: 60})  # the sticky target dies
+        detector = OmegaDetector(stabilization_time=0, leader=1).history(
+            pattern, seed=0
+        )
+        procs = [
+            ProtocolStack(
+                [EtobLayer(), ReplicaLayer(KvStore()), ClientServingLayer()],
+                group_size=3,
+            )
+            for _ in range(3)
+        ] + population(spec, [0, 1, 2], retry_after=60)
+        observer = LatencyObserver([3])
+        sim = Simulation(
+            procs,
+            failure_pattern=pattern,
+            detector=detector,
+            delay_model=FixedDelay(2),
+            timeout_interval=4,
+            message_batch=4,
+            observers=[observer],
+        )
+        sim.run_until(3000)
+        client = sim.processes[3]
+        assert client.done
+        assert client.retried >= 1, "expected a failover retry"
+        summary = observer.summary()
+        assert summary.served and summary.retries == client.retried
+        # Failover cost lands in the tail, not in the median.
+        assert summary.max >= 60

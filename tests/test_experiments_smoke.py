@@ -13,6 +13,7 @@ from repro.analysis.experiments import (
     exp_etob_stabilization,
     exp_partition_gap,
     exp_tob_mode,
+    exp_workload_latency,
 )
 
 
@@ -31,6 +32,7 @@ class TestExperimentSmoke:
             "EXP-10a",
             "EXP-10b",
             "EXP-10c",
+            "EXP-11",
         }
 
     def test_comm_steps_small(self):
@@ -66,6 +68,19 @@ class TestExperimentSmoke:
         result = exp_ablation_promote_period(periods=(2, 8))
         by_period = {r["period"]: r for r in result.rows}
         assert by_period[8]["sent"] < by_period[2]["sent"]
+
+    def test_workload_latency_shape(self):
+        result = exp_workload_latency()
+        by_stack = {r["stack"]: r for r in result.rows}
+        assert set(by_stack) == {"direct", "etob", "ec", "paxos"}
+        assert all(r["served"] for r in result.rows)
+        # The claim's shape: each consistency level costs tail latency.
+        assert (
+            by_stack["direct"]["p99"]
+            < by_stack["etob"]["p99"]
+            < by_stack["paxos"]["p99"]
+        )
+        assert "EXP-11" in result.render()
 
     def test_result_tables_render(self):
         result = exp_tob_mode()

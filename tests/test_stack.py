@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import FixedDelay, Layer, ProtocolStack, Simulation
+from repro.sim.process import Process
 from repro.sim.errors import ConfigurationError, ProtocolError
 
 
@@ -175,3 +176,81 @@ class TestChainedStacks:
         sim.run_until(3)
         outputs = [v for __, v in sim.run.outputs_of(0)]
         assert outputs == [("unwrapped", ("echo", ("wrapped", "ping")))]
+
+
+class GroupProbe(Layer):
+    """Broadcasts once at start and records the membership view it sees."""
+
+    name = "group-probe"
+
+    def __init__(self):
+        self.seen_n = None
+        self.received = []
+
+    def on_start(self, ctx):
+        self.seen_n = ctx.n
+        ctx.send_all(("probe", ctx.pid), include_self=False)
+
+    def on_message(self, ctx, sender, payload):
+        self.received.append((sender, payload))
+
+
+class Bystander(Process):
+    """A plain process outside the protocol group (records raw messages)."""
+
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, ctx, sender, payload):
+        self.received.append((sender, payload))
+
+
+class TestProtocolGroup:
+    """group_size: a stack's protocol covers a pid prefix, not the whole sim."""
+
+    def build(self, replicas=2, extras=1):
+        procs = [
+            ProtocolStack([GroupProbe()], group_size=replicas)
+            for _ in range(replicas)
+        ] + [Bystander() for _ in range(extras)]
+        sim = Simulation(procs, delay_model=FixedDelay(1), timeout_interval=50)
+        return sim, procs
+
+    def test_layers_see_group_size_as_n(self):
+        sim, procs = self.build(replicas=2, extras=2)
+        sim.run_until(20)
+        assert [procs[p].layer("group-probe").seen_n for p in (0, 1)] == [2, 2]
+
+    def test_broadcast_stays_inside_the_group(self):
+        sim, procs = self.build(replicas=2, extras=2)
+        sim.run_until(20)
+        for pid in (0, 1):
+            peers = {s for s, __ in procs[pid].layer("group-probe").received}
+            assert peers == {1 - pid}
+        assert procs[2].received == [] and procs[3].received == []
+
+    def test_without_group_broadcast_reaches_everyone(self):
+        procs = [ProtocolStack([GroupProbe()]) for _ in range(2)] + [Bystander()]
+        sim = Simulation(procs, delay_model=FixedDelay(1), timeout_interval=50)
+        sim.run_until(20)
+        assert procs[0].layer("group-probe").seen_n == 3
+        assert len(procs[2].received) == 2  # framed probes from both members
+
+    def test_group_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolStack([GroupProbe()], group_size=0)
+        # A stack attached outside its own group is a configuration error.
+        procs = [
+            ProtocolStack([GroupProbe()], group_size=1),
+            ProtocolStack([GroupProbe()], group_size=1),
+        ]
+        with pytest.raises(ConfigurationError):
+            Simulation(procs, delay_model=FixedDelay(1), timeout_interval=50)
+
+    def test_group_larger_than_simulation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(
+                [ProtocolStack([GroupProbe()], group_size=2)],
+                delay_model=FixedDelay(1),
+                timeout_interval=50,
+            )
