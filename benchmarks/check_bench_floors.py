@@ -32,8 +32,10 @@ def iter_checks(baselines: dict, artifact_dir: Path):
     """Yield one check row per (bench, metric): floors then required values.
 
     Row shape: ``(bench, metric, kind, expected, measured, ok)`` where
-    ``kind`` is ``">="`` for floors and ``"=="`` for required exact values;
-    ``measured`` is None when the artifact is missing or lacks the metric.
+    ``kind`` is ``">="`` for floors, ``">=?"`` for optional floors (skipped
+    when the present artifact reports the metric as null — a rung the leg
+    could not run), and ``"=="`` for required exact values; ``measured`` is
+    None when the artifact is missing or lacks the metric.
     """
     for bench, spec in baselines.items():
         if bench.startswith("_"):
@@ -48,6 +50,17 @@ def iter_checks(baselines: dict, artifact_dir: Path):
             measured = None if fresh is None else fresh.get(metric)
             ok = isinstance(measured, (int, float)) and measured >= floor
             yield (bench, metric, ">=", floor, measured, ok)
+        for metric, floor in spec.get("optional_floors", {}).items():
+            # Floors for metrics a leg may legitimately not measure (e.g.
+            # compiled_speedup without the C extension): a null/absent value
+            # in a present artifact skips the check rather than failing it;
+            # a measured value is held to the floor like any other.
+            measured = None if fresh is None else fresh.get(metric)
+            if fresh is not None and measured is None:
+                yield (bench, metric, ">=?", floor, "skipped", True)
+                continue
+            ok = isinstance(measured, (int, float)) and measured >= floor
+            yield (bench, metric, ">=?", floor, measured, ok)
         for metric, expected in spec.get("require", {}).items():
             measured = None if fresh is None else fresh.get(metric)
             yield (bench, metric, "==", expected, measured, measured == expected)
@@ -59,7 +72,7 @@ def render_table(rows: list[tuple]) -> str:
                "margin", "status")
     body = []
     for bench, metric, kind, expected, measured, ok in rows:
-        if kind == ">=" and isinstance(measured, (int, float)):
+        if kind in (">=", ">=?") and isinstance(measured, (int, float)):
             margin = f"{measured - expected:+.2f}"
         else:
             margin = "-"

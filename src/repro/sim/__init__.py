@@ -47,7 +47,9 @@ from repro.sim.errors import ConfigurationError, SimulationError
 from repro.sim.failures import ChurnSchedule, Environment, FailurePattern
 from repro.sim.kernel import (
     HAS_COMPILED,
+    HAS_COMPILED_LOOP,
     KERNELS,
+    SCAN_EVENT_CUTOVER,
     CompiledPackedNetwork,
     PackedNetwork,
     make_network,
@@ -91,7 +93,9 @@ __all__ = [
     "Context",
     "DEFAULT_COMPACT_FACTOR",
     "HAS_COMPILED",
+    "HAS_COMPILED_LOOP",
     "KERNELS",
+    "SCAN_EVENT_CUTOVER",
     "PackedNetwork",
     "make_network",
     "EnvBounds",

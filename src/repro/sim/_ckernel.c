@@ -1,11 +1,26 @@
-/* Packed struct-of-arrays envelope pool for the dense-tick sim kernel.
+/* Packed struct-of-arrays envelope pool + fused tick loop for the sim
+ * kernel.
  *
- * This module hosts only the storage layer of the data plane: the slot
- * columns (deliver_at, seq, sender, send_time, payload), the free list,
- * and the per-receiver shard heaps ordered by (deliver_at, seq).  The
- * merge layer -- `_next_at`, the global horizon heap, live/pending
- * counters -- stays in Python (see CompiledPackedNetwork in kernel.py)
- * so every kernel presents identical state to the event engine.
+ * Two layers live here:
+ *
+ * 1. The storage layer of the data plane: the slot columns (deliver_at,
+ *    seq, sender, send_time, payload), the free list, and the
+ *    per-receiver shard heaps ordered by (deliver_at, seq).  The merge
+ *    layer -- `_next_at`, the global horizon heap, live/pending counters
+ *    -- stays in Python (see CompiledPackedNetwork in kernel.py) so
+ *    every kernel presents identical state to the event engine.
+ *
+ * 2. run_loop(sim, t_end, store): the round-robin dense-tick loop of
+ *    kernel.run_fused_rr, hosted in C for the no-observer / raw-observer
+ *    fast path (kernel="compiled-loop").  The loop owns the due-check,
+ *    the shard pops, timeout firing, the handler dispatch trampoline,
+ *    outbox expansion through the network's packed send methods, the
+ *    local-index refresh, and the small-n scan next-event query; it
+ *    calls back into Python only for process handlers, sends, idle-span
+ *    accounting (`_skip_span_rr`), the heap-backed next-event query, and
+ *    raw-capable observers.  Every mutation mirrors the Python loop's
+ *    order of effects so run records, counters, and RNG-free schedule
+ *    state stay byte-identical (pinned by tests/test_kernel.py).
  *
  * Invariants shared with the pure-Python PackedNetwork:
  *   - seq fits in 40 bits, slot index in 24 (enforced by the caller for
@@ -23,6 +38,11 @@
 #include <string.h>
 
 #define SLOT_LIMIT (1 << 24)
+
+/* repro.sim.types.NEVER == 2**62: the sentinel delivery time of messages
+ * that never arrive (dropped links, partitions).  Shared with the Python
+ * merge layer's live-pending accounting. */
+#define NEVER_I64 (((int64_t)1) << 62)
 
 typedef struct {
     int32_t *items;
@@ -369,6 +389,89 @@ Pool_pop_due(PoolObject *self, PyObject *const *args, Py_ssize_t nargs)
     return result;
 }
 
+/* Build one (deliver_at, seq, sender, send_time, payload) message tuple.
+ * Steals the payload reference (consumed even on failure). */
+static PyObject *
+build_msg_tuple(int64_t deliver_at, int64_t seq, long sender,
+                int64_t send_time, PyObject *payload)
+{
+    PyObject *item = PyTuple_New(5);
+    if (item == NULL) {
+        Py_DECREF(payload);
+        return NULL;
+    }
+    PyObject *v;
+    v = PyLong_FromLongLong(deliver_at);
+    if (v == NULL) goto fail;
+    PyTuple_SET_ITEM(item, 0, v);
+    v = PyLong_FromLongLong(seq);
+    if (v == NULL) goto fail;
+    PyTuple_SET_ITEM(item, 1, v);
+    v = PyLong_FromLong(sender);
+    if (v == NULL) goto fail;
+    PyTuple_SET_ITEM(item, 2, v);
+    v = PyLong_FromLongLong(send_time);
+    if (v == NULL) goto fail;
+    PyTuple_SET_ITEM(item, 3, v);
+    PyTuple_SET_ITEM(item, 4, payload);
+    return item;
+fail:
+    Py_DECREF(item);
+    Py_DECREF(payload);
+    return NULL;
+}
+
+static PyObject *
+Pool_pop_due_batch(PoolObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError, "pop_due_batch(receiver, t, limit)");
+        return NULL;
+    }
+    Py_ssize_t receiver = PyLong_AsSsize_t(args[0]);
+    int64_t t = PyLong_AsLongLong(args[1]);
+    Py_ssize_t limit = PyLong_AsSsize_t(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    if (receiver < 0 || receiver >= self->n) {
+        PyErr_Format(PyExc_IndexError, "receiver %zd out of range", receiver);
+        return NULL;
+    }
+    PyObject *items = PyList_New(0);
+    if (items == NULL)
+        return NULL;
+    Shard *shard = &self->shards[receiver];
+    long live_drop = 0;
+    while (shard->len > 0 && PyList_GET_SIZE(items) < limit) {
+        int32_t head = shard->items[0];
+        int64_t deliver_at = self->col_deliver[head];
+        if (deliver_at > t)
+            break;
+        int32_t slot = shard_pop(self, shard);
+        PyObject *payload = self->col_payload[slot];  /* steal the ref */
+        self->col_payload[slot] = NULL;
+        self->free_stack[self->free_top++] = slot;
+        if (deliver_at < NEVER_I64)
+            live_drop++;
+        PyObject *item = build_msg_tuple(
+            deliver_at, self->col_seq[slot], (long)self->col_sender[slot],
+            self->col_send_time[slot], payload);
+        if (item == NULL) {
+            Py_DECREF(items);
+            return NULL;
+        }
+        int rc = PyList_Append(items, item);
+        Py_DECREF(item);
+        if (rc < 0) {
+            Py_DECREF(items);
+            return NULL;
+        }
+    }
+    int64_t new_head =
+        shard->len > 0 ? self->col_deliver[shard->items[0]] : -1;
+    return Py_BuildValue("NLl", items, (long long)new_head, live_drop);
+}
+
 static PyObject *
 Pool_peek(PoolObject *self, PyObject *arg)
 {
@@ -414,6 +517,10 @@ static PyMethodDef Pool_methods[] = {
     {"pop_due", (PyCFunction)(void (*)(void))Pool_pop_due, METH_FASTCALL,
      "pop_due(receiver, t) -> None | (deliver_at, seq, sender, send_time, "
      "payload, new_head)"},
+    {"pop_due_batch", (PyCFunction)(void (*)(void))Pool_pop_due_batch,
+     METH_FASTCALL,
+     "pop_due_batch(receiver, t, limit) -> ([(deliver_at, seq, sender, "
+     "send_time, payload), ...], new_head, live_drop)"},
     {"peek", (PyCFunction)Pool_peek, METH_O,
      "peek(receiver) -> (deliver_at, seq, sender, send_time, payload)"},
     {"slots", (PyCFunction)Pool_slots, METH_NOARGS,
@@ -437,17 +544,1246 @@ static PyTypeObject PoolType = {
     .tp_methods = Pool_methods,
 };
 
+/* ======================================================================== */
+/* run_loop: the fused round-robin tick loop (kernel="compiled-loop")       */
+/* ======================================================================== */
+
+/* Interned attribute names, filled in at module init.  `s__time_col` /
+ * `s__pid_col` are the StepStore column names "_time" / "_pid" (distinct
+ * from the sim attributes "time" / "pid"). */
+static PyObject *s_network, *s_n, *s_processes, *s__ctx, *s_detector,
+    *s_query, *s_failure_pattern, *s_crash_times, *s__next_event_query,
+    *s__skip_span_rr, *s__local_event, *s__local_horizon, *s__local_cap,
+    *s__next_timeout, *s_timeout_intervals, *s__inputs, *s__started,
+    *s_message_batch, *s__raw_step_observers, *s_run, *s__scan_cutover,
+    *s__step_index, *s_time, *s_last_live_tick, *s_pid, *s_fd_value,
+    *s__outbox, *s__outputs, *s__log, *s_on_start, *s_on_input,
+    *s_on_message, *s_on_timeout, *s_on_step_raw, *s__next_at, *s__pending,
+    *s__live, *s__dead, *s__horizon, *s__horizon_cap, *s__compact_horizon,
+    *s_send_packed, *s_send_all_packed, *s__pool, *s_delivered_count,
+    *s_live_pending, *s_end_time, *s_input_history, *s_output_history,
+    *s__index, *s__time_col, *s__pid_col, *s__fd, *s__msg_sender,
+    *s__msg_payload, *s__msg_send_time, *s__timeout, *s__sent,
+    *s__received, *s__intern_fd, *s_append, *s__log_observers, *s_on_log;
+
+/* heapq entry points, resolved lazily on the first run_loop call */
+static PyObject *g_heappush, *g_heappop, *g_heapify;
+
+static int
+get_i64_attr(PyObject *obj, PyObject *name, int64_t *out)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL)
+        return -1;
+    int64_t r = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (r == -1 && PyErr_Occurred())
+        return -1;
+    *out = r;
+    return 0;
+}
+
+static int
+set_i64_attr(PyObject *obj, PyObject *name, int64_t v)
+{
+    PyObject *boxed = PyLong_FromLongLong(v);
+    if (boxed == NULL)
+        return -1;
+    int r = PyObject_SetAttr(obj, name, boxed);
+    Py_DECREF(boxed);
+    return r;
+}
+
+static int
+add_i64_attr(PyObject *obj, PyObject *name, int64_t delta)
+{
+    int64_t v;
+    if (get_i64_attr(obj, name, &v) < 0)
+        return -1;
+    return set_i64_attr(obj, name, v + delta);
+}
+
+/* list[i] = v (new int; steals like PyList_SetItem) */
+static int
+list_set_i64(PyObject *list, Py_ssize_t i, int64_t v)
+{
+    PyObject *boxed = PyLong_FromLongLong(v);
+    if (boxed == NULL)
+        return -1;
+    return PyList_SetItem(list, i, boxed);
+}
+
+/* list[i] += delta (list of plain ints) */
+static int
+list_add_i64(PyObject *list, Py_ssize_t i, int64_t delta)
+{
+    int64_t v = PyLong_AsLongLong(PyList_GET_ITEM(list, i));
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    return list_set_i64(list, i, v + delta);
+}
+
+static inline PyObject *
+call1(PyObject *fn, PyObject *a)
+{
+    PyObject *args[1] = {a};
+    return PyObject_Vectorcall(fn, args, 1, NULL);
+}
+
+static inline PyObject *
+call2(PyObject *fn, PyObject *a, PyObject *b)
+{
+    PyObject *args[2] = {a, b};
+    return PyObject_Vectorcall(fn, args, 2, NULL);
+}
+
+static inline PyObject *
+call3(PyObject *fn, PyObject *a, PyObject *b, PyObject *c)
+{
+    PyObject *args[3] = {a, b, c};
+    return PyObject_Vectorcall(fn, args, 3, NULL);
+}
+
+/* heapq.heappush(heap, (key, pid_obj)) */
+static int
+heap_push_pair(PyObject *heap, int64_t key, PyObject *pid_obj)
+{
+    PyObject *key_obj = PyLong_FromLongLong(key);
+    if (key_obj == NULL)
+        return -1;
+    PyObject *pair = PyTuple_Pack(2, key_obj, pid_obj);
+    Py_DECREF(key_obj);
+    if (pair == NULL)
+        return -1;
+    PyObject *r = call2(g_heappush, heap, pair);
+    Py_DECREF(pair);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* history.setdefault(pid, []).extend((t, v) for v in values) */
+static int
+history_extend(PyObject *history, PyObject *pid_obj, PyObject *t_obj,
+               PyObject *values)
+{
+    PyObject *bucket = PyDict_GetItemWithError(history, pid_obj);
+    PyObject *owned = NULL;
+    if (bucket == NULL) {
+        if (PyErr_Occurred())
+            return -1;
+        owned = PyList_New(0);
+        if (owned == NULL)
+            return -1;
+        if (PyDict_SetItem(history, pid_obj, owned) < 0) {
+            Py_DECREF(owned);
+            return -1;
+        }
+        bucket = owned;
+    }
+    Py_ssize_t count = PyTuple_GET_SIZE(values);
+    for (Py_ssize_t i = 0; i < count; i++) {
+        PyObject *pair = PyTuple_Pack(2, t_obj, PyTuple_GET_ITEM(values, i));
+        if (pair == NULL) {
+            Py_XDECREF(owned);
+            return -1;
+        }
+        int r = PyList_Append(bucket, pair);
+        Py_DECREF(pair);
+        if (r < 0) {
+            Py_XDECREF(owned);
+            return -1;
+        }
+    }
+    Py_XDECREF(owned);
+    return 0;
+}
+
+/* Peek the deliver-at of the head of a per-pid input heap.  Returns 1 and
+ * sets *out when the queue is nonempty, 0 when empty, -1 on error.  Items
+ * are the (at, seq, value) tuples pushed by Simulation.schedule_input. */
+static int
+peek_input_at(PyObject *in_q, int64_t *out)
+{
+    if (PyList_GET_SIZE(in_q) == 0)
+        return 0;
+    PyObject *head_item = PyList_GET_ITEM(in_q, 0);
+    if (!PyTuple_Check(head_item) || PyTuple_GET_SIZE(head_item) < 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "input queue items must be (at, seq, value) tuples");
+        return -1;
+    }
+    int64_t at = PyLong_AsLongLong(PyTuple_GET_ITEM(head_item, 0));
+    if (at == -1 && PyErr_Occurred())
+        return -1;
+    *out = at;
+    return 1;
+}
+
+/* Everything the loop reads, extracted once per run_loop call.  Python
+ * objects are owned references unless marked borrowed; the int64 arrays
+ * mirror Python lists that only this loop mutates (next_timeout,
+ * local_event — written through on every change), or that are immutable
+ * for the run's duration (crash times, intervals). */
+typedef struct {
+    PyObject *sim;                       /* borrowed */
+    PyObject *net, *ctx, *processes, *started, *inputs_by_pid;
+    PyObject *detector_query;            /* NULL when no detector */
+    PyObject *query_next, *skip_span;
+    PyObject *local_event, *local_horizon;
+    PyObject *next_timeout_list, *next_at, *pending, *live, *dead, *horizon;
+    PyObject *compact_horizon, *send_packed, *send_all_packed;
+    PyObject *raw_obs, *run, *pool_obj;
+    PyObject *store;                     /* borrowed; NULL without store */
+    PyObject *st_append[10];             /* bound column .append methods */
+    PyObject *st_index_col, *intern_fd;
+    PyObject *sparse_inputs, *sparse_outputs;
+    PyObject *input_history, *output_history;
+    PyObject **pid_objs;                 /* n owned ints 0..n-1 */
+    PyObject **on_message_m, **on_timeout_m; /* n owned bound methods */
+    PyObject **raw_methods;              /* owned bound on_step_raw */
+    Py_ssize_t raw_count;
+    PyObject **log_methods;              /* owned bound on_log */
+    Py_ssize_t log_count;
+    int64_t *crash_at;                   /* INT64_MAX = never crashes */
+    int64_t *interval, *next_to, *local_evt;
+    PyObject *empty_tuple;
+    long n;
+    int64_t message_batch, scan_cutover;
+    Py_ssize_t horizon_cap, local_cap;
+    int has_crashes, has_store;
+    PoolObject *pool;                    /* borrowed view of pool_obj */
+} Loop;
+
+static void
+loop_free(Loop *L)
+{
+    Py_XDECREF(L->net);
+    Py_XDECREF(L->ctx);
+    Py_XDECREF(L->processes);
+    Py_XDECREF(L->started);
+    Py_XDECREF(L->inputs_by_pid);
+    Py_XDECREF(L->detector_query);
+    Py_XDECREF(L->query_next);
+    Py_XDECREF(L->skip_span);
+    Py_XDECREF(L->local_event);
+    Py_XDECREF(L->local_horizon);
+    Py_XDECREF(L->next_timeout_list);
+    Py_XDECREF(L->next_at);
+    Py_XDECREF(L->pending);
+    Py_XDECREF(L->live);
+    Py_XDECREF(L->dead);
+    Py_XDECREF(L->horizon);
+    Py_XDECREF(L->compact_horizon);
+    Py_XDECREF(L->send_packed);
+    Py_XDECREF(L->send_all_packed);
+    Py_XDECREF(L->raw_obs);
+    Py_XDECREF(L->run);
+    Py_XDECREF(L->pool_obj);
+    for (int i = 0; i < 10; i++)
+        Py_XDECREF(L->st_append[i]);
+    Py_XDECREF(L->st_index_col);
+    Py_XDECREF(L->intern_fd);
+    Py_XDECREF(L->sparse_inputs);
+    Py_XDECREF(L->sparse_outputs);
+    Py_XDECREF(L->input_history);
+    Py_XDECREF(L->output_history);
+    Py_XDECREF(L->empty_tuple);
+    if (L->pid_objs != NULL) {
+        for (long p = 0; p < L->n; p++)
+            Py_XDECREF(L->pid_objs[p]);
+        PyMem_Free(L->pid_objs);
+    }
+    if (L->on_message_m != NULL) {
+        for (long p = 0; p < L->n; p++)
+            Py_XDECREF(L->on_message_m[p]);
+        PyMem_Free(L->on_message_m);
+    }
+    if (L->on_timeout_m != NULL) {
+        for (long p = 0; p < L->n; p++)
+            Py_XDECREF(L->on_timeout_m[p]);
+        PyMem_Free(L->on_timeout_m);
+    }
+    if (L->raw_methods != NULL) {
+        for (Py_ssize_t i = 0; i < L->raw_count; i++)
+            Py_XDECREF(L->raw_methods[i]);
+        PyMem_Free(L->raw_methods);
+    }
+    if (L->log_methods != NULL) {
+        for (Py_ssize_t i = 0; i < L->log_count; i++)
+            Py_XDECREF(L->log_methods[i]);
+        PyMem_Free(L->log_methods);
+    }
+    PyMem_Free(L->crash_at);
+    PyMem_Free(L->interval);
+    PyMem_Free(L->next_to);
+    PyMem_Free(L->local_evt);
+}
+
+#define GETA(dst, obj, name)                                                \
+    do {                                                                    \
+        (dst) = PyObject_GetAttr((obj), (name));                            \
+        if ((dst) == NULL)                                                  \
+            return -1;                                                      \
+    } while (0)
+
+static int
+loop_init(Loop *L, PyObject *sim, PyObject *store)
+{
+    memset(L, 0, sizeof(*L));
+    L->sim = sim;
+    int64_t tmp;
+    if (get_i64_attr(sim, s_n, &tmp) < 0)
+        return -1;
+    L->n = (long)tmp;
+    GETA(L->net, sim, s_network);
+    GETA(L->processes, sim, s_processes);
+    GETA(L->ctx, sim, s__ctx);
+    PyObject *detector;
+    GETA(detector, sim, s_detector);
+    if (detector != Py_None) {
+        L->detector_query = PyObject_GetAttr(detector, s_query);
+        Py_DECREF(detector);
+        if (L->detector_query == NULL)
+            return -1;
+    } else {
+        Py_DECREF(detector);
+    }
+    PyObject *fp, *crash_times;
+    GETA(fp, sim, s_failure_pattern);
+    crash_times = PyObject_GetAttr(fp, s_crash_times);
+    Py_DECREF(fp);
+    if (crash_times == NULL)
+        return -1;
+    if (!PyDict_Check(crash_times)) {
+        Py_DECREF(crash_times);
+        PyErr_SetString(PyExc_TypeError, "crash_times must be a dict");
+        return -1;
+    }
+    GETA(L->query_next, sim, s__next_event_query);
+    GETA(L->skip_span, sim, s__skip_span_rr);
+    GETA(L->local_event, sim, s__local_event);
+    GETA(L->local_horizon, sim, s__local_horizon);
+    GETA(L->next_timeout_list, sim, s__next_timeout);
+    GETA(L->inputs_by_pid, sim, s__inputs);
+    GETA(L->started, sim, s__started);
+    GETA(L->raw_obs, sim, s__raw_step_observers);
+    GETA(L->run, sim, s_run);
+    PyObject *intervals;
+    intervals = PyObject_GetAttr(sim, s_timeout_intervals);
+    if (intervals == NULL) {
+        Py_DECREF(crash_times);
+        return -1;
+    }
+    if (get_i64_attr(sim, s__local_cap, &tmp) < 0)
+        goto fail_iv;
+    L->local_cap = (Py_ssize_t)tmp;
+    if (get_i64_attr(sim, s_message_batch, &L->message_batch) < 0)
+        goto fail_iv;
+    if (get_i64_attr(sim, s__scan_cutover, &L->scan_cutover) < 0)
+        goto fail_iv;
+    GETA(L->next_at, L->net, s__next_at);
+    GETA(L->pending, L->net, s__pending);
+    GETA(L->live, L->net, s__live);
+    GETA(L->dead, L->net, s__dead);
+    GETA(L->horizon, L->net, s__horizon);
+    GETA(L->compact_horizon, L->net, s__compact_horizon);
+    GETA(L->send_packed, L->net, s_send_packed);
+    GETA(L->send_all_packed, L->net, s_send_all_packed);
+    GETA(L->pool_obj, L->net, s__pool);
+    if (get_i64_attr(L->net, s__horizon_cap, &tmp) < 0)
+        goto fail_iv;
+    L->horizon_cap = (Py_ssize_t)tmp;
+    if (!PyObject_TypeCheck(L->pool_obj, &PoolType)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run_loop needs a CompiledPackedNetwork (its _pool "
+                        "must be a _ckernel.Pool)");
+        goto fail_iv;
+    }
+    L->pool = (PoolObject *)L->pool_obj;
+    long n = L->n;
+    if (!PyList_Check(L->processes) || !PyList_Check(L->next_at)
+        || !PyList_Check(L->pending) || !PyList_Check(L->live)
+        || !PyList_Check(L->horizon) || !PyList_Check(L->local_event)
+        || !PyList_Check(L->local_horizon)
+        || !PyList_Check(L->next_timeout_list)
+        || !PyList_Check(L->inputs_by_pid) || !PyList_Check(intervals)) {
+        PyErr_SetString(PyExc_TypeError, "run_loop: expected list state");
+        goto fail_iv;
+    }
+    if (PyList_GET_SIZE(L->processes) != n || PyList_GET_SIZE(L->next_at) != n
+        || PyList_GET_SIZE(L->local_event) != n
+        || PyList_GET_SIZE(L->next_timeout_list) != n
+        || PyList_GET_SIZE(L->inputs_by_pid) != n
+        || PyList_GET_SIZE(intervals) != n || L->pool->n != n) {
+        PyErr_SetString(PyExc_ValueError,
+                        "run_loop: state lists do not match sim.n");
+        goto fail_iv;
+    }
+    L->crash_at = PyMem_Malloc(n * sizeof(int64_t));
+    L->interval = PyMem_Malloc(n * sizeof(int64_t));
+    L->next_to = PyMem_Malloc(n * sizeof(int64_t));
+    L->local_evt = PyMem_Malloc(n * sizeof(int64_t));
+    L->pid_objs = PyMem_Calloc(n, sizeof(PyObject *));
+    L->on_message_m = PyMem_Calloc(n, sizeof(PyObject *));
+    L->on_timeout_m = PyMem_Calloc(n, sizeof(PyObject *));
+    if (L->crash_at == NULL || L->interval == NULL || L->next_to == NULL
+        || L->local_evt == NULL || L->pid_objs == NULL
+        || L->on_message_m == NULL || L->on_timeout_m == NULL) {
+        PyErr_NoMemory();
+        goto fail_iv;
+    }
+    for (long p = 0; p < n; p++)
+        L->crash_at[p] = INT64_MAX;
+    L->has_crashes = PyDict_GET_SIZE(crash_times) > 0;
+    Py_ssize_t pos = 0;
+    PyObject *key, *value;
+    while (PyDict_Next(crash_times, &pos, &key, &value)) {
+        long pid = PyLong_AsLong(key);
+        int64_t at = PyLong_AsLongLong(value);
+        if (PyErr_Occurred())
+            goto fail_iv;
+        if (pid < 0 || pid >= n) {
+            PyErr_Format(PyExc_ValueError, "crash pid %ld out of range", pid);
+            goto fail_iv;
+        }
+        L->crash_at[pid] = at;
+    }
+    for (long p = 0; p < n; p++) {
+        L->interval[p] = PyLong_AsLongLong(PyList_GET_ITEM(intervals, p));
+        L->next_to[p] =
+            PyLong_AsLongLong(PyList_GET_ITEM(L->next_timeout_list, p));
+        L->local_evt[p] =
+            PyLong_AsLongLong(PyList_GET_ITEM(L->local_event, p));
+        if (PyErr_Occurred())
+            goto fail_iv;
+        L->pid_objs[p] = PyLong_FromLong(p);
+        if (L->pid_objs[p] == NULL)
+            goto fail_iv;
+        PyObject *process = PyList_GET_ITEM(L->processes, p);
+        L->on_message_m[p] = PyObject_GetAttr(process, s_on_message);
+        if (L->on_message_m[p] == NULL)
+            goto fail_iv;
+        L->on_timeout_m[p] = PyObject_GetAttr(process, s_on_timeout);
+        if (L->on_timeout_m[p] == NULL)
+            goto fail_iv;
+    }
+    Py_DECREF(intervals);
+    Py_DECREF(crash_times);
+    intervals = crash_times = NULL;
+    if (store != Py_None) {
+        /* single-FullRecorder fast path: append straight into the store */
+        L->has_store = 1;
+        L->store = store;
+        PyObject *col_names[10] = {
+            s__index, s__time_col, s__pid_col, s__fd, s__msg_sender,
+            s__msg_payload, s__msg_send_time, s__timeout, s__sent,
+            s__received,
+        };
+        GETA(L->st_index_col, store, s__index);
+        for (int i = 0; i < 10; i++) {
+            PyObject *col = PyObject_GetAttr(store, col_names[i]);
+            if (col == NULL)
+                return -1;
+            L->st_append[i] = PyObject_GetAttr(col, s_append);
+            Py_DECREF(col);
+            if (L->st_append[i] == NULL)
+                return -1;
+        }
+        GETA(L->intern_fd, store, s__intern_fd);
+        GETA(L->sparse_inputs, store, s__inputs);
+        GETA(L->sparse_outputs, store, s__outputs);
+        GETA(L->input_history, L->run, s_input_history);
+        GETA(L->output_history, L->run, s_output_history);
+    } else if (L->raw_obs != Py_None) {
+        /* generic raw-capable observers: cache their bound methods */
+        if (!PyList_Check(L->raw_obs)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "_raw_step_observers must be a list");
+            return -1;
+        }
+        Py_ssize_t count = PyList_GET_SIZE(L->raw_obs);
+        L->raw_methods = PyMem_Calloc(count ? count : 1, sizeof(PyObject *));
+        if (L->raw_methods == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        for (Py_ssize_t i = 0; i < count; i++) {
+            L->raw_methods[i] = PyObject_GetAttr(
+                PyList_GET_ITEM(L->raw_obs, i), s_on_step_raw);
+            if (L->raw_methods[i] == NULL) {
+                L->raw_count = i;
+                return -1;
+            }
+            L->raw_count = i + 1;
+        }
+    }
+    PyObject *log_obs = PyObject_GetAttr(sim, s__log_observers);
+    if (log_obs == NULL)
+        return -1;
+    if (PyList_Check(log_obs) && PyList_GET_SIZE(log_obs) > 0) {
+        Py_ssize_t count = PyList_GET_SIZE(log_obs);
+        L->log_methods = PyMem_Calloc(count, sizeof(PyObject *));
+        if (L->log_methods == NULL) {
+            Py_DECREF(log_obs);
+            PyErr_NoMemory();
+            return -1;
+        }
+        for (Py_ssize_t i = 0; i < count; i++) {
+            L->log_methods[i] = PyObject_GetAttr(
+                PyList_GET_ITEM(log_obs, i), s_on_log);
+            if (L->log_methods[i] == NULL) {
+                L->log_count = i;
+                Py_DECREF(log_obs);
+                return -1;
+            }
+            L->log_count = i + 1;
+        }
+    }
+    Py_DECREF(log_obs);
+    L->empty_tuple = PyTuple_New(0);
+    if (L->empty_tuple == NULL)
+        return -1;
+    if (g_heappush == NULL) {
+        PyObject *heapq_mod = PyImport_ImportModule("heapq");
+        if (heapq_mod == NULL)
+            return -1;
+        g_heappush = PyObject_GetAttrString(heapq_mod, "heappush");
+        g_heappop = PyObject_GetAttrString(heapq_mod, "heappop");
+        g_heapify = PyObject_GetAttrString(heapq_mod, "heapify");
+        Py_DECREF(heapq_mod);
+        if (g_heappush == NULL || g_heappop == NULL || g_heapify == NULL)
+            return -1;
+    }
+    return 0;
+fail_iv:
+    Py_XDECREF(intervals);
+    Py_XDECREF(crash_times);
+    return -1;
+}
+
+/* run_loop(sim, t_end, store) — the fused round-robin tick loop in C.
+ *
+ * Byte-identical to kernel.run_fused_rr over a CompiledPackedNetwork with
+ * no send/deliver/log observers: same handler call order, same merge-layer
+ * mutations in the same order, same store appends, same exception-time
+ * state.  `store` is the single-FullRecorder StepStore (or None); the
+ * Python wrapper resolves it before handing off. */
+static PyObject *
+ckernel_run_loop(PyObject *module, PyObject *const *args, Py_ssize_t nargs)
+{
+    (void)module;
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run_loop(sim, t_end, store) takes 3 arguments");
+        return NULL;
+    }
+    PyObject *sim = args[0];
+    int64_t t_end = PyLong_AsLongLong(args[1]);
+    if (t_end == -1 && PyErr_Occurred())
+        return NULL;
+    Loop loop_state;
+    Loop *L = &loop_state;
+    if (loop_init(L, sim, args[2]) < 0) {
+        loop_free(L);
+        return NULL;
+    }
+    PoolObject *pool = L->pool;
+    long n = L->n;
+    int64_t t, step_index, run_end_time;
+    /* Per-step owned temporaries, function-scoped so step_fail can see
+     * them; always NULL outside an executed step. */
+    PyObject *t_obj = NULL, *fd_value = NULL, *inputs_t = NULL;
+    PyObject *outputs_t = NULL, *first_payload = NULL;
+    if (get_i64_attr(sim, s_time, &t) < 0)
+        goto fail;
+    if (get_i64_attr(sim, s__step_index, &step_index) < 0)
+        goto fail;
+    if (get_i64_attr(L->run, s_end_time, &run_end_time) < 0)
+        goto fail;
+
+    while (t < t_end) {
+        long pid = (long)(t % n);
+        int due = 0;
+        if (L->local_evt[pid] <= t) {
+            due = 1;
+        } else {
+            PyObject *head_obj = PyList_GET_ITEM(L->next_at, pid);
+            if (head_obj != Py_None) {
+                int64_t head = PyLong_AsLongLong(head_obj);
+                if (head == -1 && PyErr_Occurred())
+                    goto fail;
+                due = head <= t;
+            }
+        }
+        if (due && !(L->has_crashes && t >= L->crash_at[pid])) {
+            /* ---- one fused executed step (mirrors run_fused_rr) ---- */
+            PyObject *pid_obj = L->pid_objs[pid];
+            PyObject *process = PyList_GET_ITEM(L->processes, pid);
+            if (set_i64_attr(sim, s_time, t + 1) < 0)
+                goto fail;
+            if (set_i64_attr(sim, s_last_live_tick, t) < 0)
+                goto fail;
+            t_obj = PyLong_FromLongLong(t);
+            if (t_obj == NULL)
+                goto step_fail;
+            if (L->detector_query != NULL) {
+                fd_value = call2(L->detector_query, pid_obj, t_obj);
+                if (fd_value == NULL)
+                    goto step_fail;
+            } else {
+                fd_value = Py_None;
+                Py_INCREF(fd_value);
+            }
+            if (PyObject_SetAttr(L->ctx, s_pid, pid_obj) < 0
+                || PyObject_SetAttr(L->ctx, s_time, t_obj) < 0
+                || PyObject_SetAttr(L->ctx, s_fd_value, fd_value) < 0)
+                goto step_fail;
+            int was_started = PySet_Contains(L->started, pid_obj);
+            if (was_started < 0)
+                goto step_fail;
+            if (!was_started) {
+                if (PySet_Add(L->started, pid_obj) < 0)
+                    goto step_fail;
+                PyObject *on_start = PyObject_GetAttr(process, s_on_start);
+                if (on_start == NULL)
+                    goto step_fail;
+                PyObject *r = call1(on_start, L->ctx);
+                Py_DECREF(on_start);
+                if (r == NULL)
+                    goto step_fail;
+                Py_DECREF(r);
+            }
+
+            /* input drain */
+            PyObject *in_q = PyList_GET_ITEM(L->inputs_by_pid, pid);
+            int64_t q_head_at = 0;
+            int q_due = peek_input_at(in_q, &q_head_at);
+            if (q_due < 0)
+                goto step_fail;
+            q_due = q_due > 0 && q_head_at <= t;
+            if (q_due) {
+                PyObject *drained = PyList_New(0);
+                if (drained == NULL)
+                    goto step_fail;
+                PyObject *on_input = PyObject_GetAttr(process, s_on_input);
+                if (on_input == NULL) {
+                    Py_DECREF(drained);
+                    goto step_fail;
+                }
+                for (;;) {
+                    int64_t at;
+                    int has = peek_input_at(in_q, &at);
+                    if (has < 0)
+                        break;
+                    if (has == 0 || at > t)
+                        break;
+                    PyObject *popped = call1(g_heappop, in_q);
+                    if (popped == NULL)
+                        break;
+                    PyObject *value = PyTuple_GET_ITEM(popped, 2);
+                    if (PyList_Append(drained, value) < 0) {
+                        Py_DECREF(popped);
+                        break;
+                    }
+                    PyObject *r = call2(on_input, L->ctx, value);
+                    Py_DECREF(popped);
+                    if (r == NULL)
+                        break;
+                    Py_DECREF(r);
+                }
+                Py_DECREF(on_input);
+                if (PyErr_Occurred()) {
+                    Py_DECREF(drained);
+                    goto step_fail;
+                }
+                inputs_t = PyList_AsTuple(drained);
+                Py_DECREF(drained);
+                if (inputs_t == NULL)
+                    goto step_fail;
+            } else {
+                inputs_t = L->empty_tuple;
+                Py_INCREF(inputs_t);
+            }
+
+            /* message pops straight off the C shard heap */
+            long received = 0;
+            long first_sender = -1;
+            int64_t first_send_time = -1;
+            PyObject *head_obj = PyList_GET_ITEM(L->next_at, pid);
+            int msgs_due = 0;
+            if (head_obj != Py_None) {
+                int64_t head = PyLong_AsLongLong(head_obj);
+                if (head == -1 && PyErr_Occurred())
+                    goto step_fail;
+                msgs_due = head <= t;
+            }
+            if (msgs_due) {
+                Shard *shard = &pool->shards[pid];
+                PyObject *on_message = L->on_message_m[pid];
+                int handler_err = 0;
+                while (received < L->message_batch && shard->len > 0) {
+                    int32_t top = shard->items[0];
+                    int64_t deliver_at = pool->col_deliver[top];
+                    if (deliver_at > t)
+                        break;
+                    shard_pop(pool, shard);
+                    long sender = (long)pool->col_sender[top];
+                    PyObject *payload = pool->col_payload[top]; /* stolen */
+                    pool->col_payload[top] = NULL;
+                    pool->free_stack[pool->free_top++] = top;
+                    if (received == 0) {
+                        first_sender = sender;
+                        first_payload = payload;
+                        Py_INCREF(first_payload);
+                        first_send_time = pool->col_send_time[top];
+                    }
+                    received += 1;
+                    if (deliver_at < NEVER_I64) {
+                        /* per-message live accounting, exactly as the
+                         * Python loop orders it (visible on handler
+                         * exception) */
+                        if (list_add_i64(L->live, pid, -1) < 0) {
+                            Py_DECREF(payload);
+                            handler_err = 1;
+                            break;
+                        }
+                        int is_dead = PySet_Contains(L->dead, pid_obj);
+                        if (is_dead < 0) {
+                            Py_DECREF(payload);
+                            handler_err = 1;
+                            break;
+                        }
+                        if (!is_dead
+                            && add_i64_attr(L->net, s_live_pending, -1) < 0) {
+                            Py_DECREF(payload);
+                            handler_err = 1;
+                            break;
+                        }
+                    }
+                    PyObject *r = call3(on_message, L->ctx,
+                                        L->pid_objs[sender], payload);
+                    Py_DECREF(payload);
+                    if (r == NULL) {
+                        handler_err = 1;
+                        break;
+                    }
+                    Py_DECREF(r);
+                }
+                if (handler_err)
+                    goto step_fail;
+                if (add_i64_attr(L->net, s_delivered_count, received) < 0)
+                    goto step_fail;
+                if (list_add_i64(L->pending, pid, -received) < 0)
+                    goto step_fail;
+                if (shard->len > 0) {
+                    int64_t new_head = pool->col_deliver[shard->items[0]];
+                    if (list_set_i64(L->next_at, pid, new_head) < 0)
+                        goto step_fail;
+                    if (PyList_GET_SIZE(L->horizon) > L->horizon_cap) {
+                        PyObject *r = PyObject_CallNoArgs(L->compact_horizon);
+                        if (r == NULL)
+                            goto step_fail;
+                        Py_DECREF(r);
+                    }
+                    if (heap_push_pair(L->horizon, new_head, pid_obj) < 0)
+                        goto step_fail;
+                } else {
+                    Py_INCREF(Py_None);
+                    if (PyList_SetItem(L->next_at, pid, Py_None) < 0)
+                        goto step_fail;
+                }
+            }
+
+            /* timeout */
+            int timeout_fired = 0;
+            if (t >= L->next_to[pid]) {
+                timeout_fired = 1;
+                L->next_to[pid] = t + L->interval[pid];
+                if (list_set_i64(L->next_timeout_list, pid,
+                                 L->next_to[pid]) < 0)
+                    goto step_fail;
+                PyObject *r = call1(L->on_timeout_m[pid], L->ctx);
+                if (r == NULL)
+                    goto step_fail;
+                Py_DECREF(r);
+            }
+
+            /* outbox expansion via the packed send entry points */
+            long sent = 0;
+            PyObject *outbox = PyObject_GetAttr(L->ctx, s__outbox);
+            if (outbox == NULL)
+                goto step_fail;
+            if (PyList_Check(outbox) && PyList_GET_SIZE(outbox) > 0) {
+                PyObject *fresh = PyList_New(0);
+                if (fresh == NULL) {
+                    Py_DECREF(outbox);
+                    goto step_fail;
+                }
+                int r_set = PyObject_SetAttr(L->ctx, s__outbox, fresh);
+                Py_DECREF(fresh);
+                if (r_set < 0) {
+                    Py_DECREF(outbox);
+                    goto step_fail;
+                }
+                Py_ssize_t count = PyList_GET_SIZE(outbox);
+                for (Py_ssize_t i = 0; i < count; i++) {
+                    PyObject *entry = PyList_GET_ITEM(outbox, i);
+                    if (!PyTuple_Check(entry)
+                        || PyTuple_GET_SIZE(entry) != 2) {
+                        PyErr_SetString(PyExc_TypeError,
+                                        "outbox entries must be "
+                                        "(receiver, payload) tuples");
+                        break;
+                    }
+                    PyObject *recv_obj = PyTuple_GET_ITEM(entry, 0);
+                    PyObject *payload = PyTuple_GET_ITEM(entry, 1);
+                    long receiver = PyLong_AsLong(recv_obj);
+                    if (receiver == -1 && PyErr_Occurred())
+                        break;
+                    if (receiver >= 0) {
+                        PyObject *cargs[4] = {pid_obj, recv_obj, payload,
+                                              t_obj};
+                        PyObject *r = PyObject_Vectorcall(L->send_packed,
+                                                          cargs, 4, NULL);
+                        if (r == NULL)
+                            break;
+                        Py_DECREF(r);
+                        sent += 1;
+                    } else {
+                        PyObject *cargs[4] = {
+                            pid_obj, payload, t_obj,
+                            receiver == -1 ? Py_True : Py_False,
+                        };
+                        PyObject *r = PyObject_Vectorcall(L->send_all_packed,
+                                                          cargs, 4, NULL);
+                        if (r == NULL)
+                            break;
+                        long fanout = PyLong_AsLong(r);
+                        Py_DECREF(r);
+                        if (fanout == -1 && PyErr_Occurred())
+                            break;
+                        sent += fanout;
+                    }
+                }
+            }
+            Py_DECREF(outbox);
+            if (PyErr_Occurred())
+                goto step_fail;
+
+            /* outputs / log drains */
+            PyObject *outputs = PyObject_GetAttr(L->ctx, s__outputs);
+            if (outputs == NULL)
+                goto step_fail;
+            if (PyList_Check(outputs) && PyList_GET_SIZE(outputs) > 0) {
+                PyObject *fresh = PyList_New(0);
+                if (fresh == NULL) {
+                    Py_DECREF(outputs);
+                    goto step_fail;
+                }
+                int r_set = PyObject_SetAttr(L->ctx, s__outputs, fresh);
+                Py_DECREF(fresh);
+                if (r_set < 0) {
+                    Py_DECREF(outputs);
+                    goto step_fail;
+                }
+                outputs_t = PyList_AsTuple(outputs);
+                Py_DECREF(outputs);
+                if (outputs_t == NULL)
+                    goto step_fail;
+            } else {
+                Py_DECREF(outputs);
+                outputs_t = L->empty_tuple;
+                Py_INCREF(outputs_t);
+            }
+            PyObject *log_buf = PyObject_GetAttr(L->ctx, s__log);
+            if (log_buf == NULL)
+                goto step_fail;
+            if (PyList_Check(log_buf) && PyList_GET_SIZE(log_buf) > 0) {
+                PyObject *fresh = PyList_New(0);
+                int r_set = fresh == NULL
+                    ? -1 : PyObject_SetAttr(L->ctx, s__log, fresh);
+                Py_XDECREF(fresh);
+                if (r_set < 0) {
+                    Py_DECREF(log_buf);
+                    goto step_fail;
+                }
+                int log_err = 0;
+                Py_ssize_t log_len = PyList_GET_SIZE(log_buf);
+                for (Py_ssize_t e = 0; e < log_len && !log_err; e++) {
+                    PyObject *event = PyList_GET_ITEM(log_buf, e);
+                    for (Py_ssize_t i = 0; i < L->log_count; i++) {
+                        PyObject *cargs[4] = {sim, t_obj, pid_obj, event};
+                        PyObject *r = PyObject_Vectorcall(
+                            L->log_methods[i], cargs, 4, NULL);
+                        if (r == NULL) {
+                            log_err = 1;
+                            break;
+                        }
+                        Py_DECREF(r);
+                    }
+                }
+                if (log_err) {
+                    Py_DECREF(log_buf);
+                    goto step_fail;
+                }
+            }
+            Py_DECREF(log_buf);
+
+            /* _refresh_local, inlined */
+            int64_t event_at = L->next_to[pid];
+            {
+                int64_t at;
+                int has = peek_input_at(in_q, &at);
+                if (has < 0)
+                    goto step_fail;
+                if (has > 0 && at < event_at)
+                    event_at = at;
+            }
+            if (event_at != L->local_evt[pid]) {
+                L->local_evt[pid] = event_at;
+                if (list_set_i64(L->local_event, pid, event_at) < 0)
+                    goto step_fail;
+                if (PyList_GET_SIZE(L->local_horizon) > L->local_cap) {
+                    PyObject *rebuilt = PyList_New(n);
+                    if (rebuilt == NULL)
+                        goto step_fail;
+                    for (long p = 0; p < n; p++) {
+                        PyObject *key_obj =
+                            PyLong_FromLongLong(L->local_evt[p]);
+                        PyObject *pair = key_obj == NULL
+                            ? NULL
+                            : PyTuple_Pack(2, key_obj, L->pid_objs[p]);
+                        Py_XDECREF(key_obj);
+                        if (pair == NULL) {
+                            Py_DECREF(rebuilt);
+                            goto step_fail;
+                        }
+                        PyList_SET_ITEM(rebuilt, p, pair);
+                    }
+                    int r_slice = PyList_SetSlice(L->local_horizon, 0,
+                                                  PY_SSIZE_T_MAX, rebuilt);
+                    Py_DECREF(rebuilt);
+                    if (r_slice < 0)
+                        goto step_fail;
+                    PyObject *r = call1(g_heapify, L->local_horizon);
+                    if (r == NULL)
+                        goto step_fail;
+                    Py_DECREF(r);
+                }
+                if (heap_push_pair(L->local_horizon, event_at, pid_obj) < 0)
+                    goto step_fail;
+            }
+
+            int64_t index = step_index;
+            step_index += 1;
+            if (set_i64_attr(sim, s__step_index, step_index) < 0)
+                goto step_fail;
+
+            if (L->has_store) {
+                PyObject *v, *r;
+#define ST_APPEND_STOLEN(slot_i, boxed)                                     \
+                do {                                                        \
+                    v = (boxed);                                            \
+                    if (v == NULL)                                          \
+                        goto step_fail;                                     \
+                    r = call1(L->st_append[slot_i], v);                     \
+                    Py_DECREF(v);                                           \
+                    if (r == NULL)                                          \
+                        goto step_fail;                                     \
+                    Py_DECREF(r);                                           \
+                } while (0)
+#define ST_APPEND_BORROWED(slot_i, obj)                                     \
+                do {                                                        \
+                    r = call1(L->st_append[slot_i], (obj));                 \
+                    if (r == NULL)                                          \
+                        goto step_fail;                                     \
+                    Py_DECREF(r);                                           \
+                } while (0)
+                ST_APPEND_STOLEN(0, PyLong_FromLongLong(index));
+                ST_APPEND_BORROWED(1, t_obj);
+                ST_APPEND_BORROWED(2, pid_obj);
+                if (fd_value == Py_None) {
+                    ST_APPEND_BORROWED(3, Py_None);
+                } else {
+                    ST_APPEND_STOLEN(3, call1(L->intern_fd, fd_value));
+                }
+                ST_APPEND_STOLEN(4, PyLong_FromLong(first_sender));
+                ST_APPEND_BORROWED(
+                    5, first_payload != NULL ? first_payload : Py_None);
+                ST_APPEND_STOLEN(6, PyLong_FromLongLong(first_send_time));
+                ST_APPEND_STOLEN(7, PyLong_FromLong(timeout_fired));
+                ST_APPEND_STOLEN(8, PyLong_FromLong(sent));
+                ST_APPEND_STOLEN(9, PyLong_FromLong(received));
+#undef ST_APPEND_STOLEN
+#undef ST_APPEND_BORROWED
+                if (PyTuple_GET_SIZE(inputs_t) > 0
+                    || PyTuple_GET_SIZE(outputs_t) > 0) {
+                    Py_ssize_t size = PyObject_Size(L->st_index_col);
+                    if (size < 0)
+                        goto step_fail;
+                    PyObject *position = PyLong_FromSsize_t(size - 1);
+                    if (position == NULL)
+                        goto step_fail;
+                    int r_pos = 0;
+                    if (PyTuple_GET_SIZE(inputs_t) > 0)
+                        r_pos = PyDict_SetItem(L->sparse_inputs, position,
+                                               inputs_t);
+                    if (r_pos == 0 && PyTuple_GET_SIZE(outputs_t) > 0)
+                        r_pos = PyDict_SetItem(L->sparse_outputs, position,
+                                               outputs_t);
+                    Py_DECREF(position);
+                    if (r_pos < 0)
+                        goto step_fail;
+                }
+                if (t > run_end_time) {
+                    run_end_time = t;
+                    if (set_i64_attr(L->run, s_end_time, t) < 0)
+                        goto step_fail;
+                }
+                if (PyTuple_GET_SIZE(inputs_t) > 0
+                    && history_extend(L->input_history, pid_obj, t_obj,
+                                      inputs_t) < 0)
+                    goto step_fail;
+                if (PyTuple_GET_SIZE(outputs_t) > 0
+                    && history_extend(L->output_history, pid_obj, t_obj,
+                                      outputs_t) < 0)
+                    goto step_fail;
+            } else if (L->raw_methods != NULL) {
+                PyObject *index_obj = PyLong_FromLongLong(index);
+                PyObject *sender_obj = PyLong_FromLong(first_sender);
+                PyObject *send_time_obj =
+                    PyLong_FromLongLong(first_send_time);
+                PyObject *sent_obj = PyLong_FromLong(sent);
+                PyObject *received_obj = PyLong_FromLong(received);
+                if (index_obj == NULL || sender_obj == NULL
+                    || send_time_obj == NULL || sent_obj == NULL
+                    || received_obj == NULL) {
+                    Py_XDECREF(index_obj);
+                    Py_XDECREF(sender_obj);
+                    Py_XDECREF(send_time_obj);
+                    Py_XDECREF(sent_obj);
+                    Py_XDECREF(received_obj);
+                    goto step_fail;
+                }
+                PyObject *cargs[13] = {
+                    sim, index_obj, t_obj, pid_obj, sender_obj,
+                    first_payload != NULL ? first_payload : Py_None,
+                    send_time_obj, fd_value, inputs_t, outputs_t,
+                    timeout_fired ? Py_True : Py_False, sent_obj,
+                    received_obj,
+                };
+                int raw_err = 0;
+                for (Py_ssize_t i = 0; i < L->raw_count; i++) {
+                    PyObject *r = PyObject_Vectorcall(L->raw_methods[i],
+                                                      cargs, 13, NULL);
+                    if (r == NULL) {
+                        raw_err = 1;
+                        break;
+                    }
+                    Py_DECREF(r);
+                }
+                Py_DECREF(index_obj);
+                Py_DECREF(sender_obj);
+                Py_DECREF(send_time_obj);
+                Py_DECREF(sent_obj);
+                Py_DECREF(received_obj);
+                if (raw_err)
+                    goto step_fail;
+            }
+
+            Py_CLEAR(t_obj);
+            Py_CLEAR(fd_value);
+            Py_CLEAR(inputs_t);
+            Py_CLEAR(outputs_t);
+            Py_CLEAR(first_payload);
+            t += 1;
+            continue;
+        }
+
+        /* ---- idle (or crash-gated) tick: jump forward ---- */
+        int64_t target = 0;
+        int have_target = 0;
+        if (n <= L->scan_cutover) {
+            for (long p = 0; p < n; p++) {
+                int64_t event_at = L->local_evt[p];
+                PyObject *d = PyList_GET_ITEM(L->next_at, p);
+                if (d != Py_None) {
+                    int64_t deliver_at = PyLong_AsLongLong(d);
+                    if (deliver_at == -1 && PyErr_Occurred())
+                        goto fail;
+                    if (deliver_at < event_at)
+                        event_at = deliver_at;
+                }
+                int64_t eff = event_at > t ? event_at : t;
+                int64_t m = (p - eff) % n;
+                if (m < 0)
+                    m += n;
+                int64_t tick = eff + m;
+                if (L->has_crashes && tick >= L->crash_at[p])
+                    continue;
+                if (!have_target || tick < target) {
+                    target = tick;
+                    have_target = 1;
+                }
+            }
+        } else {
+            PyObject *now_obj = PyLong_FromLongLong(t);
+            if (now_obj == NULL)
+                goto fail;
+            PyObject *r = call2(L->query_next, now_obj, Py_True);
+            Py_DECREF(now_obj);
+            if (r == NULL)
+                goto fail;
+            if (r != Py_None) {
+                target = PyLong_AsLongLong(r);
+                have_target = 1;
+                if (target == -1 && PyErr_Occurred()) {
+                    Py_DECREF(r);
+                    goto fail;
+                }
+            }
+            Py_DECREF(r);
+        }
+        int64_t jump_to = (!have_target || target >= t_end) ? t_end : target;
+        {
+            PyObject *now_obj = PyLong_FromLongLong(t);
+            PyObject *to_obj = PyLong_FromLongLong(jump_to);
+            PyObject *r = (now_obj == NULL || to_obj == NULL)
+                ? NULL : call2(L->skip_span, now_obj, to_obj);
+            Py_XDECREF(now_obj);
+            Py_XDECREF(to_obj);
+            if (r == NULL)
+                goto fail;
+            Py_DECREF(r);
+        }
+        /* _skip_span_rr may materialize idle steps (bumping _step_index) —
+         * re-read the mirror */
+        if (get_i64_attr(sim, s__step_index, &step_index) < 0)
+            goto fail;
+        t = jump_to;
+        if (jump_to == t_end)
+            break;
+    }
+    if (set_i64_attr(sim, s_time, t) < 0)
+        goto fail;
+    loop_free(L);
+    Py_RETURN_NONE;
+
+step_fail:
+    Py_XDECREF(t_obj);
+    Py_XDECREF(fd_value);
+    Py_XDECREF(inputs_t);
+    Py_XDECREF(outputs_t);
+    Py_XDECREF(first_payload);
+fail:
+    loop_free(L);
+    return NULL;
+}
+
+static PyMethodDef ckernel_functions[] = {
+    {"run_loop", (PyCFunction)(void (*)(void))ckernel_run_loop,
+     METH_FASTCALL,
+     "run_loop(sim, t_end, store)\n--\n\n"
+     "Run the fused round-robin event engine to t_end entirely in C,\n"
+     "calling back into Python only for process handlers, packed sends,\n"
+     "idle-span accounting, and raw observers.  Byte-identical to\n"
+     "kernel.run_fused_rr."},
+    {NULL, NULL, 0, NULL},
+};
+
 static PyModuleDef ckernel_module = {
     PyModuleDef_HEAD_INIT,
     .m_name = "repro.sim._ckernel",
-    .m_doc = "Compiled storage backend for the packed sim kernel",
+    .m_doc = "Compiled storage backend and fused tick loop for the packed "
+             "sim kernel",
     .m_size = -1,
+    .m_methods = ckernel_functions,
 };
+
+static int
+intern_names(void)
+{
+#define INTERN(var, text)                                                   \
+    do {                                                                    \
+        var = PyUnicode_InternFromString(text);                             \
+        if (var == NULL)                                                    \
+            return -1;                                                      \
+    } while (0)
+    INTERN(s_network, "network");
+    INTERN(s_n, "n");
+    INTERN(s_processes, "processes");
+    INTERN(s__ctx, "_ctx");
+    INTERN(s_detector, "detector");
+    INTERN(s_query, "query");
+    INTERN(s_failure_pattern, "failure_pattern");
+    INTERN(s_crash_times, "crash_times");
+    INTERN(s__next_event_query, "_next_event_query");
+    INTERN(s__skip_span_rr, "_skip_span_rr");
+    INTERN(s__local_event, "_local_event");
+    INTERN(s__local_horizon, "_local_horizon");
+    INTERN(s__local_cap, "_local_cap");
+    INTERN(s__next_timeout, "_next_timeout");
+    INTERN(s_timeout_intervals, "timeout_intervals");
+    INTERN(s__inputs, "_inputs");
+    INTERN(s__started, "_started");
+    INTERN(s_message_batch, "message_batch");
+    INTERN(s__raw_step_observers, "_raw_step_observers");
+    INTERN(s_run, "run");
+    INTERN(s__scan_cutover, "_scan_cutover");
+    INTERN(s__step_index, "_step_index");
+    INTERN(s_time, "time");
+    INTERN(s_last_live_tick, "last_live_tick");
+    INTERN(s_pid, "pid");
+    INTERN(s_fd_value, "fd_value");
+    INTERN(s__outbox, "_outbox");
+    INTERN(s__outputs, "_outputs");
+    INTERN(s__log, "_log");
+    INTERN(s_on_start, "on_start");
+    INTERN(s_on_input, "on_input");
+    INTERN(s_on_message, "on_message");
+    INTERN(s_on_timeout, "on_timeout");
+    INTERN(s_on_step_raw, "on_step_raw");
+    INTERN(s__next_at, "_next_at");
+    INTERN(s__pending, "_pending");
+    INTERN(s__live, "_live");
+    INTERN(s__dead, "_dead");
+    INTERN(s__horizon, "_horizon");
+    INTERN(s__horizon_cap, "_horizon_cap");
+    INTERN(s__compact_horizon, "_compact_horizon");
+    INTERN(s_send_packed, "send_packed");
+    INTERN(s_send_all_packed, "send_all_packed");
+    INTERN(s__pool, "_pool");
+    INTERN(s_delivered_count, "delivered_count");
+    INTERN(s_live_pending, "live_pending");
+    INTERN(s_end_time, "end_time");
+    INTERN(s_input_history, "input_history");
+    INTERN(s_output_history, "output_history");
+    INTERN(s__index, "_index");
+    INTERN(s__time_col, "_time");
+    INTERN(s__pid_col, "_pid");
+    INTERN(s__fd, "_fd");
+    INTERN(s__msg_sender, "_msg_sender");
+    INTERN(s__msg_payload, "_msg_payload");
+    INTERN(s__msg_send_time, "_msg_send_time");
+    INTERN(s__timeout, "_timeout");
+    INTERN(s__sent, "_sent");
+    INTERN(s__received, "_received");
+    INTERN(s__intern_fd, "_intern_fd");
+    INTERN(s_append, "append");
+    INTERN(s__log_observers, "_log_observers");
+    INTERN(s_on_log, "on_log");
+#undef INTERN
+    return 0;
+}
 
 PyMODINIT_FUNC
 PyInit__ckernel(void)
 {
     if (PyType_Ready(&PoolType) < 0)
+        return NULL;
+    if (intern_names() < 0)
         return NULL;
     PyObject *module = PyModule_Create(&ckernel_module);
     if (module == NULL)

@@ -47,10 +47,23 @@ Kernel selection — ``Simulation(kernel=...)``:
     Requesting it without the extension built raises
     :class:`~repro.sim.errors.ConfigurationError`; :data:`HAS_COMPILED`
     reports availability.
+``compiled-loop``
+    the C pool *plus* the C tick loop: ``_ckernel.run_loop`` owns the
+    round-robin dense-tick loop itself (due checks, shard pops, timeout
+    firing, outbox expansion, local-index refresh, store appends) and
+    calls back into Python only for process handlers, packed sends,
+    idle-span accounting, and raw/log observers. Engages under the same
+    conditions as the Python fused loop *and* additionally requires no
+    send/deliver observers (those need per-envelope views the C loop
+    never materializes); ineligible runs degrade one rung to the shared
+    Python fused loop on the same network, never to an error.
+    :data:`HAS_COMPILED_LOOP` reports availability (a stale extension
+    without ``run_loop`` degrades the same way).
 
-All three kernels are pinned byte-identical (run records, counters, RNG
+All kernel rungs are pinned byte-identical (run records, counters, RNG
 streams) by ``tests/test_kernel.py`` on top of the PR 4 differential oracle
-machinery.
+machinery; ``run_fused_rr`` stays the reference implementation and
+differential oracle for the C loop.
 
 Handler contract (unchanged, but load-bearing here): process automata must
 not retain the :class:`~repro.sim.context.Context` or any ``Envelope``
@@ -80,7 +93,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.scheduler import Simulation
 
 #: valid values of ``Simulation(kernel=...)``.
-KERNELS = ("legacy", "packed", "compiled")
+KERNELS = ("legacy", "packed", "compiled", "compiled-loop")
+
+#: scan-vs-heap cutover for the fused loop's idle next-event query: at
+#: ``n <= SCAN_EVENT_CUTOVER`` a direct O(n) scan over the per-process
+#: cursor indexes replaces the lazy-heap query. Measured by
+#: ``benchmarks/bench_scan_cutover.py`` (n ∈ {4..256} sweep, idle-heavy
+#: staggered-timeout schedule, single-CPU dev container): the scan wins at
+#: every measured n on both loops — 1.1-1.8x over the heap query in the
+#: Python fused loop and 1.1-2.8x in the compiled loop (where the scan is
+#: a C array pass but the heap query is a Python call) — so the cutover
+#: sits at the sweep's top edge and the heap query remains only as
+#: asymptotic insurance for n > 256. Both paths compute the identical
+#: target (align(min cursor) per process, crash-gated, minimized over
+#: processes), so this constant is perf-only — never correctness.
+SCAN_EVENT_CUTOVER = 256
 
 #: shard-key layout: ``(deliver_at << 64) | (seq << 24) | slot``. The low
 #: 24 bits address the pool slot (16M simultaneous in-transit messages),
@@ -102,6 +129,11 @@ try:  # optional compiled backend; see setup.py
 except ImportError:  # pragma: no cover - exercised only without the ext
     _ckernel = None
     HAS_COMPILED = False
+
+#: the C tick loop rides the same extension but is feature-detected
+#: separately so a stale ``_ckernel.so`` from an older checkout degrades
+#: to the Python fused loop instead of failing at run time.
+HAS_COMPILED_LOOP = HAS_COMPILED and hasattr(_ckernel, "run_loop")
 
 
 class PackedNetwork(Network):
@@ -498,6 +530,64 @@ class PackedNetwork(Network):
             self._next_at[receiver] = None
         return popped
 
+    def pop_deliverable_batch_raw(
+        self, receiver: ProcessId, t: Time, limit: int
+    ) -> list[tuple[Time, int, ProcessId, Time, Any]]:
+        """Batch-pop due messages as ``(deliver_at, seq, sender, send_time,
+        payload)`` tuples — no :class:`Envelope` materialization.
+
+        Same pops, same accounting, same merge-layer updates as
+        :meth:`pop_deliverable_batch`; the scheduler's generic loops take
+        this path when no deliver observer needs an envelope view.
+        """
+        shard = self._shards[receiver]
+        if not shard or shard[0] >> _KEY_SHIFT > t:
+            return []
+        popped: list[tuple[Time, int, ProcessId, Time, Any]] = []
+        live_drop = 0
+        heappop = heapq.heappop
+        col_seq = self._col_seq
+        col_sender = self._col_sender
+        col_send_time = self._col_send_time
+        col_payload = self._col_payload
+        free_append = self._free.append
+        while shard and len(popped) < limit:
+            key = shard[0]
+            deliver_at = key >> _KEY_SHIFT
+            if deliver_at > t:
+                break
+            heappop(shard)
+            slot = key & _SLOT_MASK
+            popped.append(
+                (
+                    deliver_at,
+                    col_seq[slot],
+                    col_sender[slot],
+                    col_send_time[slot],
+                    col_payload[slot],
+                )
+            )
+            col_payload[slot] = None
+            free_append(slot)
+            if deliver_at < NEVER:
+                live_drop += 1
+        count = len(popped)
+        self.delivered_count += count
+        self._pending[receiver] -= count
+        if live_drop:
+            self._live[receiver] -= live_drop
+            if receiver not in self._dead:
+                self.live_pending -= live_drop
+        if shard:
+            head = shard[0] >> _KEY_SHIFT
+            self._next_at[receiver] = head
+            if len(self._horizon) > self._horizon_cap:
+                self._compact_horizon()
+            heapq.heappush(self._horizon, (head, receiver))
+        else:
+            self._next_at[receiver] = None
+        return popped
+
     # -- introspection (tests / benchmarks) ---------------------------------
 
     @property
@@ -668,26 +758,9 @@ class CompiledPackedNetwork(PackedNetwork):
             self._next_at[receiver] = None
         return Envelope(deliver_at, seq, sender, receiver, payload, send_time)
 
-    def pop_deliverable_batch(
-        self, receiver: ProcessId, t: Time, limit: int
-    ) -> list[Envelope]:
-        pool = self._pool
-        popped: list[Envelope] = []
-        live_drop = 0
-        new_head = -2  # sentinel: nothing popped
-        while len(popped) < limit:
-            result = pool.pop_due(receiver, t)
-            if result is None:
-                break
-            deliver_at, seq, sender, send_time, payload, new_head = result
-            popped.append(
-                Envelope(deliver_at, seq, sender, receiver, payload, send_time)
-            )
-            if deliver_at < NEVER:
-                live_drop += 1
-        count = len(popped)
-        if not count:
-            return popped
+    def _account_batch_pop(
+        self, receiver: ProcessId, count: int, live_drop: int, new_head: int
+    ) -> None:
         self.delivered_count += count
         self._pending[receiver] -= count
         if live_drop:
@@ -701,7 +774,31 @@ class CompiledPackedNetwork(PackedNetwork):
             heapq.heappush(self._horizon, (new_head, receiver))
         else:
             self._next_at[receiver] = None
-        return popped
+
+    def pop_deliverable_batch(
+        self, receiver: ProcessId, t: Time, limit: int
+    ) -> list[Envelope]:
+        items, new_head, live_drop = self._pool.pop_due_batch(
+            receiver, t, limit
+        )
+        if not items:
+            return []
+        self._account_batch_pop(receiver, len(items), live_drop, new_head)
+        return [
+            Envelope(deliver_at, seq, sender, receiver, payload, send_time)
+            for deliver_at, seq, sender, send_time, payload in items
+        ]
+
+    def pop_deliverable_batch_raw(
+        self, receiver: ProcessId, t: Time, limit: int
+    ) -> list[tuple[Time, int, ProcessId, Time, Any]]:
+        items, new_head, live_drop = self._pool.pop_due_batch(
+            receiver, t, limit
+        )
+        if not items:
+            return []
+        self._account_batch_pop(receiver, len(items), live_drop, new_head)
+        return items
 
     @property
     def pool_slots(self) -> int:
@@ -724,7 +821,7 @@ def make_network(
         return Network(n, delay_model, compact_factor=compact_factor)
     if kernel == "packed":
         return PackedNetwork(n, delay_model, compact_factor=compact_factor)
-    if kernel == "compiled":
+    if kernel in ("compiled", "compiled-loop"):
         return CompiledPackedNetwork(
             n, delay_model, compact_factor=compact_factor
         )
@@ -742,12 +839,59 @@ def fused_runner(sim: "Simulation") -> Callable[["Simulation", Time], None] | No
     The caller still gates on ``engine="event"`` + round-robin at run
     time; ineligible configurations run the generic loops against the
     packed network's compat methods.
+
+    ``kernel="compiled-loop"`` adds one more rung: when the C extension
+    exports ``run_loop`` and no send/deliver observer is attached (the C
+    loop never materializes the Envelope views those hooks receive; log
+    observers are fine — log dispatch crosses back into Python), the tick
+    loop itself runs in C. Every ineligible combination degrades to the
+    Python fused loop — the ladder never falls off to an error.
     """
     if sim._step_observers and sim._raw_step_observers is None:
         return None
-    if isinstance(sim.network, PackedNetwork):
-        return run_fused_rr
+    if not isinstance(sim.network, PackedNetwork):
+        return None
+    if (
+        sim.kernel == "compiled-loop"
+        and HAS_COMPILED_LOOP
+        and isinstance(sim.network, CompiledPackedNetwork)
+        and not sim._send_observers
+        and not sim._deliver_observers
+    ):
+        return run_fused_rr_compiled
+    return run_fused_rr
+
+
+def fused_path_name(
+    runner: Callable[["Simulation", Time], None] | None,
+) -> str | None:
+    """Human-readable name of a fused runner: ``"c-loop"``, ``"python"``,
+    or None (generic engine)."""
+    if runner is run_fused_rr_compiled:
+        return "c-loop"
+    if runner is run_fused_rr:
+        return "python"
     return None
+
+
+def run_fused_rr_compiled(sim: "Simulation", t_end: Time) -> None:
+    """Hand the fused round-robin loop to ``_ckernel.run_loop``.
+
+    Resolves the single-FullRecorder columnar store exactly like
+    :func:`run_fused_rr` does, then runs the tick loop in C. The C loop
+    calls back into Python only for process handlers, packed sends, the
+    idle-span machinery (``_next_event_query`` on large n /
+    ``_skip_span_rr``), and generic raw observers; everything else —
+    due checks, shard pops, timeout firing, outbox expansion, local-index
+    refresh, store appends — happens without touching the interpreter.
+    Byte-identical to the Python fused loop by construction and pinned by
+    ``tests/test_kernel.py``.
+    """
+    raw_obs = sim._raw_step_observers
+    store = None
+    if raw_obs is not None and len(raw_obs) == 1 and type(raw_obs[0]) is FullRecorder:
+        store = raw_obs[0]._store
+    _ckernel.run_loop(sim, t_end, store)
 
 
 def run_fused_rr(sim: "Simulation", t_end: Time) -> None:
@@ -779,7 +923,9 @@ def run_fused_rr(sim: "Simulation", t_end: Time) -> None:
     #: lazy-heap query (no pops/reinserts); both compute the identical
     #: target — align(min of the two cursors) per process, crash-gated,
     #: minimized over processes — the heaps just answer it sublinearly.
-    scan_events = n <= 16
+    #: The cutover is measured (see SCAN_EVENT_CUTOVER) and carried on the
+    #: sim so tests and the sweep benchmark can force either path.
+    scan_events = n <= sim._scan_cutover
     local_event = sim._local_event
     local_horizon = sim._local_horizon
     local_cap = sim._local_cap

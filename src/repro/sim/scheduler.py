@@ -76,7 +76,13 @@ from repro.sim.context import BROADCAST_ALL, Context
 from repro.sim.envs import EnvModel
 from repro.sim.errors import ConfigurationError
 from repro.sim.failures import FailurePattern
-from repro.sim.kernel import KERNELS, fused_runner, make_network
+from repro.sim.kernel import (
+    KERNELS,
+    SCAN_EVENT_CUTOVER,
+    fused_path_name,
+    fused_runner,
+    make_network,
+)
 from repro.sim.network import (
     DEFAULT_COMPACT_FACTOR,
     DelayModel,
@@ -252,6 +258,46 @@ class Simulation:
                 raise ConfigurationError(
                     f"observers must be SimObserver instances, got {observer!r}"
                 )
+        #: crash boundaries not yet folded into the network's live-pending
+        #: counter, in time order (consumed by :meth:`_sync_crash_marks`).
+        self._crash_boundaries = sorted(
+            (t, pid) for pid, t in self.failure_pattern.crash_times.items()
+        )
+        self._crash_cursor = 0
+
+        #: incremental *local* next-event index: per process, the earliest
+        #: time with scheduler-side work pending — the next due timeout or
+        #: pending input, or 0 while the process has not run ``on_start``
+        #: (its first step is always interesting). Maintained by
+        #: :meth:`_refresh_local` after every executed step and lowered by
+        #: :meth:`add_input`; paired with a lazy min-heap mirroring the
+        #: network's delivery horizon so next-event queries cost O(log n)
+        #: instead of an O(n) rescan of timeouts/inputs/queues.
+        self._local_event: list[Time] = [0] * self.n
+        self._local_horizon: list[tuple[Time, ProcessId]] = [
+            (0, pid) for pid in range(self.n)
+        ]
+        #: see Network._horizon_cap: bound the stale-entry build-up on runs
+        #: that push (every executed step) without ever querying. Shares the
+        #: network's tunable compaction factor.
+        self._local_cap = max(64, compact_factor * self.n)
+        #: scan-vs-heap cutover for the fused loop's idle next-event query;
+        #: per-sim so tests and the sweep benchmark can force either path.
+        self._scan_cutover = SCAN_EVENT_CUTOVER
+        self._rebuild_dispatch()
+
+    # -- observer dispatch -----------------------------------------------------
+
+    def _rebuild_dispatch(self) -> None:
+        """Derive every observer dispatch table from ``self._observers``.
+
+        Called at construction and again by :meth:`attach_observer` /
+        :meth:`detach_observer`: the fused-runner selection (including the
+        ``compiled-loop`` C rung) depends on which hooks are observed, so
+        capability changes mid-lifetime re-resolve the whole ladder — a
+        non-raw observer attaching downgrades the C loop to the generic
+        engine, detaching it restores the fast path.
+        """
         self._step_observers = [o for o in self._observers if _overrides(o, "on_step")]
         #: raw executed-step dispatch: taken only when every step observer
         #: overrides ``on_step_raw`` (the built-in recorders do), so the hot
@@ -283,38 +329,51 @@ class Simulation:
             o for o in self._observers if _overrides(o, "on_finish")
         ]
         self._materialize_idle = any(o.wants_idle_steps for o in self._observers)
-        #: crash boundaries not yet folded into the network's live-pending
-        #: counter, in time order (consumed by :meth:`_sync_crash_marks`).
-        self._crash_boundaries = sorted(
-            (t, pid) for pid, t in self.failure_pattern.crash_times.items()
-        )
-        self._crash_cursor = 0
-
-        #: incremental *local* next-event index: per process, the earliest
-        #: time with scheduler-side work pending — the next due timeout or
-        #: pending input, or 0 while the process has not run ``on_start``
-        #: (its first step is always interesting). Maintained by
-        #: :meth:`_refresh_local` after every executed step and lowered by
-        #: :meth:`add_input`; paired with a lazy min-heap mirroring the
-        #: network's delivery horizon so next-event queries cost O(log n)
-        #: instead of an O(n) rescan of timeouts/inputs/queues.
-        self._local_event: list[Time] = [0] * self.n
-        self._local_horizon: list[tuple[Time, ProcessId]] = [
-            (0, pid) for pid in range(self.n)
-        ]
-        #: see Network._horizon_cap: bound the stale-entry build-up on runs
-        #: that push (every executed step) without ever querying. Shares the
-        #: network's tunable compaction factor.
-        self._local_cap = max(64, compact_factor * self.n)
         #: point-to-point/broadcast sends skip Envelope materialization when
         #: the network has packed primitives and nothing observes sends.
         self._packed_sends = not self._send_observers and hasattr(
             self.network, "send_packed"
         )
+        #: envelope-free batch pops for the generic loops (random path):
+        #: usable only when no deliver observer needs an Envelope view.
+        raw_pops = getattr(self.network, "pop_deliverable_batch_raw", None)
+        self._raw_pops = raw_pops if not self._deliver_observers else None
         #: fused dense-tick runner (see repro.sim.kernel); None when this
         #: configuration must take the generic engine paths. Resolved last:
         #: eligibility reads the observer dispatch tables above.
         self._fused_run = fused_runner(self)
+
+    def attach_observer(self, observer: SimObserver) -> None:
+        """Attach ``observer`` mid-lifetime and re-resolve dispatch.
+
+        The engine re-evaluates every capability gate, so attaching an
+        observer that needs hooks the current fast path does not expose
+        (a non-raw step observer, a deliver observer under the C loop)
+        downgrades to the matching slower path before the next tick.
+        """
+        if not isinstance(observer, SimObserver):
+            raise ConfigurationError(
+                f"observers must be SimObserver instances, got {observer!r}"
+            )
+        self._observers.append(observer)
+        self._rebuild_dispatch()
+
+    def detach_observer(self, observer: SimObserver) -> None:
+        """Detach a previously attached observer and re-resolve dispatch."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            raise ConfigurationError(
+                f"observer {observer!r} is not attached"
+            ) from None
+        self._rebuild_dispatch()
+
+    @property
+    def fused_path(self) -> str | None:
+        """Which fused runner this configuration resolved to:
+        ``"c-loop"`` (compiled tick loop), ``"python"`` (fused Python
+        loop), or None (generic engine paths)."""
+        return fused_path_name(self._fused_run)
 
     # -- inputs ----------------------------------------------------------------
 
@@ -385,15 +444,37 @@ class Simulation:
 
         # One batched pop per tick instead of up to message_batch calls;
         # pinned identical to repeated single pops by the differential tests.
-        envelopes = self.network.pop_deliverable_batch(pid, t, self.message_batch)
-        first_envelope = envelopes[0] if envelopes else None
-        received_count = len(envelopes)
-        deliver_observers = self._deliver_observers
-        for envelope in envelopes:
-            if deliver_observers:
-                for observer in deliver_observers:
-                    observer.on_deliver(self, envelope)
-            process.on_message(ctx, envelope.sender, envelope.payload)
+        # Packed kernels without deliver observers take the raw tuple path:
+        # same pops, same accounting, no Envelope views (this is how the
+        # blockwise random schedule rides the packed pool's batch pops).
+        first_sender, first_payload, first_send_time = -1, None, -1
+        raw_pops = self._raw_pops
+        if raw_pops is not None:
+            messages = raw_pops(pid, t, self.message_batch)
+            received_count = len(messages)
+            if messages:
+                first = messages[0]
+                first_sender = first[2]
+                first_payload = first[4]
+                first_send_time = first[3]
+            for message in messages:
+                process.on_message(ctx, message[2], message[4])
+        else:
+            envelopes = self.network.pop_deliverable_batch(
+                pid, t, self.message_batch
+            )
+            received_count = len(envelopes)
+            if envelopes:
+                first = envelopes[0]
+                first_sender = first.sender
+                first_payload = first.payload
+                first_send_time = first.send_time
+            deliver_observers = self._deliver_observers
+            for envelope in envelopes:
+                if deliver_observers:
+                    for observer in deliver_observers:
+                        observer.on_deliver(self, envelope)
+                process.on_message(ctx, envelope.sender, envelope.payload)
 
         timeout_fired = False
         if t >= self._next_timeout[pid]:
@@ -450,26 +531,20 @@ class Simulation:
         outputs_t = tuple(outputs)
         raw_observers = self._raw_step_observers
         if raw_observers is not None:
-            if first_envelope is None:
-                sender, payload, send_time = -1, None, -1
-            else:
-                sender = first_envelope.sender
-                payload = first_envelope.payload
-                send_time = first_envelope.send_time
             for observer in raw_observers:
                 observer.on_step_raw(
-                    self, index, t, pid, sender, payload, send_time,
-                    fd_value, inputs_t, outputs_t, timeout_fired, sent,
-                    received_count,
+                    self, index, t, pid, first_sender, first_payload,
+                    first_send_time, fd_value, inputs_t, outputs_t,
+                    timeout_fired, sent, received_count,
                 )
             return None
         received = (
             None
-            if first_envelope is None
+            if received_count == 0
             else ReceivedMessage(
-                sender=first_envelope.sender,
-                payload=first_envelope.payload,
-                send_time=first_envelope.send_time,
+                sender=first_sender,
+                payload=first_payload,
+                send_time=first_send_time,
             )
         )
         record = StepRecord(

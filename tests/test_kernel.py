@@ -9,12 +9,18 @@ Four pillars:
   at every step (the compiled pool joins when the extension is built);
 - whole-run differentials over the randomized scenario space of
   ``test_engine_differential`` pinning byte-identical :class:`RunRecord`
-  objects across ``kernel="legacy" | "packed" | "compiled"`` under both
-  ``round_robin`` and ``random`` scheduling;
+  objects across ``kernel="legacy" | "packed" | "compiled" |
+  "compiled-loop"`` under both ``round_robin`` and ``random`` scheduling
+  and both engines;
 - unit coverage for the kernel selection flag and the tunable heap
   self-compaction threshold (``compact_factor``) it exposes;
 - direct unit tests of the compiled ``Pool`` shard ordering and slot
-  recycling, skipped when the extension is not built.
+  recycling, skipped when the extension is not built;
+- compiled-loop rung coverage: the engagement/degradation ladder
+  (``sim.fused_path``) under every observer capability, including
+  mid-lifetime :meth:`attach_observer` / :meth:`detach_observer`, and
+  skipif-gated ``run_loop`` / ``pop_due_batch`` unit tests mirroring the
+  ``Pool`` units.
 """
 
 from __future__ import annotations
@@ -26,24 +32,32 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim import (
     HAS_COMPILED,
+    HAS_COMPILED_LOOP,
     KERNELS,
     CompiledPackedNetwork,
     FixedDelay,
     Network,
     PackedNetwork,
     Process,
+    SimObserver,
     Simulation,
     StepStore,
     make_network,
+    run_digest,
 )
 from repro.sim.errors import ConfigurationError
 from repro.sim.types import NEVER
 
 from test_engine_differential import build_sim, random_config, run_sim
 
-#: kernels exercised by the whole-run differentials; "compiled" joins when
-#: the C extension is importable, and its absence is covered separately.
-BUILT_KERNELS = [k for k in KERNELS if k != "compiled" or HAS_COMPILED]
+#: kernels exercised by the whole-run differentials; the compiled rungs
+#: join when the C extension is importable, and their absence is covered
+#: separately. "compiled-loop" needs only the Pool: with a stale extension
+#: (no run_loop) it degrades to the Python fused loop, which the same
+#: differentials then pin.
+BUILT_KERNELS = [
+    k for k in KERNELS if k not in ("compiled", "compiled-loop") or HAS_COMPILED
+]
 
 
 # ---------------------------------------------------------------------------
@@ -198,9 +212,14 @@ class TestKernelRunDifferential:
             )
             assert sim.rng.getstate() == reference.rng.getstate()
 
+    @pytest.mark.parametrize("scheduling", ["round_robin", "random"])
     @pytest.mark.parametrize("kernel", BUILT_KERNELS)
-    def test_naive_engine_runs_on_every_kernel(self, kernel):
+    def test_naive_engine_runs_on_every_kernel(self, kernel, scheduling):
+        # With test_all_kernels_byte_identical tying the kernels together
+        # under the event engine, this completes the full
+        # kernel x scheduling x engine byte-equality matrix.
         config = random_config(4)
+        config["scheduling"] = scheduling
         naive = run_sim(
             build_sim(config, engine="naive", kernel=kernel), config
         )
@@ -399,3 +418,220 @@ class TestCompiledPool:
             pool.push(3, 1, 0, 0, 0, "x")
         with pytest.raises(ValueError):
             pool.push_many(0, 0, 0, [0, 1], [5], "x")
+
+    def test_pop_due_batch_matches_repeated_pop_due(self):
+        batch, single = self.make_pool(), self.make_pool()
+        for pool in (batch, single):
+            pool.push(1, 8, 6, 0, 0, "early")
+            pool.push(1, 10, 5, 0, 0, "late")
+            pool.push(1, 8, 2, 0, 0, "earlier-seq")
+            pool.push(1, 99, 9, 0, 0, "future")
+        items, new_head, live_drop = batch.pop_due_batch(1, 10, 3)
+        expected = [single.pop_due(1, 10)[:5] for _ in range(3)]
+        assert items == expected
+        assert new_head == 99  # the first still-undue message
+        assert live_drop == 3  # every popped message was live
+        # Drained of due messages: empty batch, head unchanged.
+        assert batch.pop_due_batch(1, 10, 4) == ([], 99, 0)
+
+    def test_pop_due_batch_respects_time_and_limit(self):
+        pool = self.make_pool()
+        pool.push(0, 5, 0, 1, 2, "a")
+        pool.push(0, 6, 1, 1, 2, "b")
+        assert pool.pop_due_batch(0, 4, 10) == ([], 5, 0)
+        items, new_head, live_drop = pool.pop_due_batch(0, 5, 10)
+        assert items == [(5, 0, 1, 2, "a")]
+        assert (new_head, live_drop) == (6, 1)
+        assert pool.pop_due_batch(2, 10, 1) == ([], -1, 0)  # empty shard
+
+    def test_pop_due_batch_errors(self):
+        pool = self.make_pool()
+        with pytest.raises(IndexError):
+            pool.pop_due_batch(5, 1, 1)
+        with pytest.raises(TypeError):
+            pool.pop_due_batch(0, 1)
+
+
+# ---------------------------------------------------------------------------
+# Compiled tick loop: the engagement ladder and run_loop unit behaviour.
+# ---------------------------------------------------------------------------
+
+
+class StepSpy(SimObserver):
+    """Step observer WITHOUT the raw hook: forces materialized dispatch."""
+
+    def __init__(self) -> None:
+        self.steps = 0
+
+    def on_step(self, sim, record):
+        self.steps += 1
+
+
+class SendSpy(SimObserver):
+    def __init__(self) -> None:
+        self.sends = 0
+
+    def on_send(self, sim, envelope):
+        self.sends += 1
+
+
+class DeliverSpy(SimObserver):
+    def __init__(self) -> None:
+        self.delivers = 0
+
+    def on_deliver(self, sim, envelope):
+        self.delivers += 1
+
+
+class LogSpy(SimObserver):
+    def __init__(self) -> None:
+        self.events = []
+
+    def on_log(self, sim, t, pid, event):
+        self.events.append((t, pid, event))
+
+
+class LoggingChatter(Process):
+    def on_timeout(self, ctx):
+        ctx.send((ctx.pid + 1) % ctx.n, ("m", ctx.time))
+        ctx.log(("beat", ctx.time))
+
+    def on_message(self, ctx, sender, payload):
+        pass
+
+
+def _loop_sim(kernel, observers=(), cls=Chatter, n=3):
+    return Simulation(
+        [cls() for _ in range(n)],
+        delay_model=FixedDelay(2),
+        timeout_interval=3,
+        seed=5,
+        record="metrics",
+        kernel=kernel,
+        observers=list(observers),
+    )
+
+
+class TestObserverAttachDetach:
+    """Mid-lifetime observer changes re-resolve the whole dispatch ladder
+    (kernel-independent; the C rung's view is in TestCompiledLoopLadder)."""
+
+    def test_attach_rejects_non_observers(self):
+        with pytest.raises(ConfigurationError, match="SimObserver"):
+            _loop_sim("packed").attach_observer(object())
+
+    def test_detach_unknown_observer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _loop_sim("packed").detach_observer(StepSpy())
+
+    def test_attach_detach_restores_fused_path(self):
+        sim = _loop_sim("packed")
+        assert sim.fused_path == "python"
+        spy = StepSpy()
+        sim.attach_observer(spy)
+        assert sim.fused_path is None  # non-raw step observer: generic loop
+        sim.detach_observer(spy)
+        assert sim.fused_path == "python"
+
+    def test_mid_run_attach_does_not_change_the_trajectory(self):
+        watched, plain = _loop_sim("packed"), _loop_sim("packed")
+        watched.run_until(1_000)
+        spy = StepSpy()
+        watched.attach_observer(spy)
+        watched.run_until(2_000)
+        watched.detach_observer(spy)
+        watched.run_until(3_000)
+        plain.run_until(3_000)
+        assert run_digest(watched) == run_digest(plain)
+        assert spy.steps > 0
+
+
+@pytest.mark.skipif(not HAS_COMPILED_LOOP, reason="C loop not built")
+class TestCompiledLoopLadder:
+    """When the C tick loop engages, when it degrades, and that both
+    answers leave the trajectory byte-identical to the Python fused loop."""
+
+    def test_engages_and_matches_python_loop(self):
+        c, py = _loop_sim("compiled-loop"), _loop_sim("packed")
+        assert c.fused_path == "c-loop"
+        assert py.fused_path == "python"
+        c.run_until(4_000)
+        py.run_until(4_000)
+        assert run_digest(c) == run_digest(py)
+
+    def test_lower_rungs_never_take_the_c_loop(self):
+        assert _loop_sim("legacy").fused_path is None
+        assert _loop_sim("packed").fused_path == "python"
+        assert _loop_sim("compiled").fused_path == "python"
+
+    @pytest.mark.parametrize("spy_cls", [SendSpy, DeliverSpy])
+    def test_envelope_observers_degrade_to_the_python_loop(self, spy_cls):
+        # The C loop never materializes the Envelope views these hooks
+        # receive, so their presence must drop one rung — with identical
+        # trajectories and identical observations on both rungs.
+        c_spy, py_spy = spy_cls(), spy_cls()
+        c = _loop_sim("compiled-loop", [c_spy])
+        py = _loop_sim("packed", [py_spy])
+        assert c.fused_path == "python"
+        c.run_until(2_000)
+        py.run_until(2_000)
+        assert run_digest(c) == run_digest(py)
+        assert vars(c_spy) == vars(py_spy)
+
+    def test_log_observers_stay_on_the_c_loop(self):
+        # Log dispatch crosses back into Python from C, so a log observer
+        # must not cost the rung — and must see the identical event stream.
+        c_spy, py_spy = LogSpy(), LogSpy()
+        c = _loop_sim("compiled-loop", [c_spy], cls=LoggingChatter)
+        py = _loop_sim("packed", [py_spy], cls=LoggingChatter)
+        assert c.fused_path == "c-loop"
+        c.run_until(2_000)
+        py.run_until(2_000)
+        assert run_digest(c) == run_digest(py)
+        assert c_spy.events == py_spy.events
+        assert c_spy.events  # the scenario actually logged
+
+    def test_attach_detach_toggles_the_c_loop_mid_run(self):
+        c, py = _loop_sim("compiled-loop"), _loop_sim("packed")
+        c_spy, py_spy = StepSpy(), StepSpy()
+        c.run_until(1_000)
+        py.run_until(1_000)
+        assert c.fused_path == "c-loop"
+        c.attach_observer(c_spy)
+        py.attach_observer(py_spy)
+        assert c.fused_path is None  # non-raw observer: generic engine
+        c.run_until(2_000)
+        py.run_until(2_000)
+        c.detach_observer(c_spy)
+        py.detach_observer(py_spy)
+        assert c.fused_path == "c-loop"
+        c.run_until(3_000)
+        py.run_until(3_000)
+        assert run_digest(c) == run_digest(py)
+        assert c_spy.steps == py_spy.steps > 0
+
+    def test_run_loop_arity_and_type_errors(self):
+        from repro.sim import _ckernel
+
+        with pytest.raises(TypeError):
+            _ckernel.run_loop()
+        with pytest.raises(TypeError):
+            _ckernel.run_loop(1, 2)
+        with pytest.raises(AttributeError):
+            _ckernel.run_loop(object(), 10, None)
+
+    def test_handler_errors_match_the_python_loop(self):
+        class Boom(Process):
+            def on_timeout(self, ctx):
+                raise RuntimeError("boom")
+
+            def on_message(self, ctx, sender, payload):
+                pass
+
+        outcomes = {}
+        for kernel in ("packed", "compiled-loop"):
+            sim = _loop_sim(kernel, cls=Boom)
+            with pytest.raises(RuntimeError, match="boom"):
+                sim.run_until(100)
+            outcomes[kernel] = (sim.time, sim.network.sent_count)
+        assert outcomes["packed"] == outcomes["compiled-loop"]

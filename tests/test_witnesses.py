@@ -19,9 +19,18 @@ from repro.search import (
     load_corpus,
     replay_witness,
 )
+from repro.sim import HAS_COMPILED, HAS_COMPILED_LOOP
 
 CORPUS = load_corpus()
 CORPUS_IDS = [w.target for w in CORPUS]
+
+#: every buildable kernel rung replays the corpus in-process; the worker
+#: pool matrix stays on the two always-available kernels to bound runtime.
+REPLAY_KERNELS = (
+    ["legacy", "packed"]
+    + (["compiled"] if HAS_COMPILED else [])
+    + (["compiled-loop"] if HAS_COMPILED_LOOP else [])
+)
 
 
 def test_corpus_is_nonempty_and_covers_both_experiments():
@@ -36,7 +45,7 @@ def test_witness_json_roundtrip(witness):
 
 
 @pytest.mark.parametrize("witness", CORPUS, ids=CORPUS_IDS)
-@pytest.mark.parametrize("kernel", ["legacy", "packed"])
+@pytest.mark.parametrize("kernel", REPLAY_KERNELS)
 def test_witness_replays_identically_in_process(witness, kernel):
     value, digest = replay_witness(witness, kernel=kernel)
     assert value == witness.value
