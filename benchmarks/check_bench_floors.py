@@ -27,6 +27,11 @@ import json
 import sys
 from pathlib import Path
 
+try:  # package import (pytest / -m); falls back to script-directory import
+    from benchmarks.step_summary import markdown_table, publish_step_summary
+except ImportError:  # pragma: no cover - exercised by `python benchmarks/...`
+    from step_summary import markdown_table, publish_step_summary
+
 
 def iter_checks(baselines: dict, artifact_dir: Path):
     """Yield one check row per (bench, metric): floors then required values.
@@ -120,6 +125,26 @@ def main(argv: list[str] | None = None) -> int:
     rows = list(iter_checks(baselines, Path(args.artifact_dir)))
     print(render_table(rows))
     failures = [row for row in rows if not row[5]]
+    # Mirror the delta table onto the GitHub job summary so a floor
+    # regression is readable without opening the step log; a plain no-op
+    # when $GITHUB_STEP_SUMMARY is unset (the stdout table above remains).
+    verdict = (
+        f"**FAIL** — {len(failures)} check(s) violated"
+        if failures
+        else f"**OK** — all {len(rows)} checks cleared"
+    )
+    publish_step_summary(
+        f"### Benchmark floor gate\n\n{verdict}\n\n"
+        + markdown_table(
+            ("benchmark", "metric", "check", "expected", "measured", "status"),
+            [
+                (bench, metric, f"`{kind}`", expected,
+                 "MISSING" if measured is None else measured,
+                 "ok" if ok else "**FAIL**")
+                for bench, metric, kind, expected, measured, ok in rows
+            ],
+        )
+    )
     if failures:
         print(
             f"\nFAIL: {len(failures)} benchmark floor check(s) failed "

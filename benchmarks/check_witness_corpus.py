@@ -30,6 +30,11 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 
 from repro.search import load_corpus, replay_witness  # noqa: E402
 
+try:  # package import (pytest / -m); falls back to script-directory import
+    from benchmarks.step_summary import markdown_table, publish_step_summary
+except ImportError:  # pragma: no cover - exercised by `python benchmarks/...`
+    from step_summary import markdown_table, publish_step_summary
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -58,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
 
     kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
     failures = 0
+    summary_rows: list[tuple] = []
     for witness in corpus:
         for kernel in kernels:
             value, digest = replay_witness(
@@ -69,13 +75,36 @@ def main(argv: list[str] | None = None) -> int:
                 f"{witness.target:>12} [{kernel:>6}] value={value} "
                 f"(pinned {witness.value}) digest={digest} [{status}]"
             )
+            summary_rows.append(
+                (witness.target, kernel, value, witness.value, digest,
+                 "ok" if ok else "**MISMATCH**")
+            )
             failures += not ok
         if witness.baseline is not None and witness.exceeds_baseline is not True:
             print(
                 f"{witness.target:>12} no longer exceeds its i.i.d. baseline "
                 f"max {witness.baseline['max']} [FAIL]"
             )
+            summary_rows.append(
+                (witness.target, "(i.i.d. baseline)", witness.value,
+                 f"> {witness.baseline['max']}", "-", "**FAIL**")
+            )
             failures += 1
+
+    # Mirror the replay table onto the GitHub job summary (plain stdout,
+    # above, is the fallback whenever $GITHUB_STEP_SUMMARY is unset).
+    verdict = (
+        f"**FAIL** — {failures} replay check(s) failed"
+        if failures
+        else f"**OK** — {len(corpus)} witness(es) × {len(kernels)} kernel(s)"
+    )
+    publish_step_summary(
+        f"### Witness corpus replay gate\n\n{verdict}\n\n"
+        + markdown_table(
+            ("witness", "kernel", "value", "pinned", "digest", "status"),
+            summary_rows,
+        )
+    )
 
     if failures:
         print(f"\nFAIL: {failures} witness replay check(s) failed")

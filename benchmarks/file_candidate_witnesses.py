@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Auto-file nightly falsifier finds that beat the pinned witness corpus.
+
+The nightly workflow runs ``python -m repro.search`` with a budget CI cannot
+afford and writes whatever it finds into a scratch directory. This script
+compares each found witness against the *pinned* corpus entry for the same
+target (``tests/witnesses/<target>.json``) and files every strict
+improvement as a review artifact: the witness JSON plus a short provenance
+note (pinned vs candidate value, search seed/budget, the exact promotion
+command), ready to be uploaded as a dated ``candidate-witness`` artifact::
+
+    python benchmarks/file_candidate_witnesses.py --found nightly_witnesses \
+                                                  --out candidate_witnesses
+
+Promotion into ``tests/witnesses/`` stays a deliberate, reviewed act — this
+only *files* the candidate. Exit code: 0 always (finding no improvement is
+the common, healthy case; the artifact upload step skips an empty
+directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.search import load_corpus  # noqa: E402
+from repro.search.witness import Witness, save_witness  # noqa: E402
+
+
+def file_candidates(
+    found_dir: Path, out_dir: Path, *, date: str, pinned: dict[str, Witness]
+) -> list[dict]:
+    """Copy every strict improvement into ``out_dir``; return the notes."""
+    notes: list[dict] = []
+    for path in sorted(found_dir.glob("*.json")):
+        candidate = Witness.from_json(path.read_text())
+        current = pinned.get(candidate.target)
+        if current is not None and candidate.value <= current.value:
+            print(
+                f"{candidate.target}: found {candidate.value} does not beat "
+                f"pinned {current.value} — not filed"
+            )
+            continue
+        save_witness(candidate, out_dir)
+        note = {
+            "date": date,
+            "target": candidate.target,
+            "experiment": candidate.experiment,
+            "objective": candidate.objective,
+            "candidate_value": candidate.value,
+            "pinned_value": None if current is None else current.value,
+            "provenance": candidate.provenance,
+            "promote_with": (
+                f"cp {candidate.target}.json tests/witnesses/ after replaying "
+                f"with: python -m repro.search --replay"
+            ),
+        }
+        notes.append(note)
+        improvement = (
+            "new target (nothing pinned)"
+            if current is None
+            else f"beats pinned {current.value}"
+        )
+        print(
+            f"{candidate.target}: candidate value {candidate.value} "
+            f"({improvement}) — filed to {out_dir}"
+        )
+    if notes:
+        (out_dir / "PROVENANCE.json").write_text(
+            json.dumps(notes, indent=2, sort_keys=True) + "\n"
+        )
+    return notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--found", type=Path, required=True,
+        help="directory of freshly found witness JSONs (the nightly output)",
+    )
+    parser.add_argument(
+        "--out", type=Path, required=True,
+        help="directory to file improving candidates into (created on demand)",
+    )
+    parser.add_argument(
+        "--corpus", type=Path, default=None,
+        help="pinned corpus to compare against (default: tests/witnesses)",
+    )
+    parser.add_argument(
+        "--date", default=None,
+        help="provenance date stamp (default: today, UTC)",
+    )
+    args = parser.parse_args(argv)
+
+    date = args.date or datetime.datetime.now(datetime.timezone.utc).strftime(
+        "%Y-%m-%d"
+    )
+    pinned = {witness.target: witness for witness in load_corpus(args.corpus)}
+    if not args.found.is_dir():
+        print(f"no found-witness directory at {args.found}; nothing to file")
+        return 0
+    args.out.mkdir(parents=True, exist_ok=True)
+    notes = file_candidates(args.found, args.out, date=date, pinned=pinned)
+    print(f"{len(notes)} candidate witness(es) filed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Shared helper: publish CI gate tables to ``$GITHUB_STEP_SUMMARY``.
+
+GitHub renders whatever a job appends to the file named by the
+``GITHUB_STEP_SUMMARY`` environment variable as Markdown on the run's
+summary page — which is where a floor regression or a witness replay
+mismatch should be readable, instead of buried in a step log. Outside
+Actions (the variable unset, or the file unwritable) publishing is a no-op:
+the gates' plain-stdout tables remain the single source of truth either way
+and the exit code is unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """A GitHub-flavored Markdown table (all cells pre-stringified)."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for __ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def publish_step_summary(markdown: str) -> bool:
+    """Append ``markdown`` to the job summary; False when not in Actions."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return False
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(markdown.rstrip() + "\n\n")
+    except OSError:
+        return False
+    return True

@@ -171,6 +171,7 @@ class Campaign:
         backend: str = "stream",
         progress: Callable[[CellResult, int, int], None] | None = None,
         order: str = "cost",
+        cache: Any | None = None,
     ) -> CampaignResult:
         """Execute every cell of every experiment through one worker pool.
 
@@ -184,6 +185,14 @@ class Campaign:
         :meth:`~repro.suite.ScenarioSuite.run`; with the default
         :class:`~repro.suite.SuiteProgress` each line is prefixed by the
         cell's experiment key.
+
+        ``cache`` — a :class:`repro.analysis.cache.ResultCache` — memoizes
+        the pool: cells already in the content-addressed store (or in the
+        journal of an interrupted run of this same campaign) are served
+        without executing, and every fresh result is checkpointed as it
+        streams in, making the whole campaign resumable. Because the cache
+        key is content-addressed (code digest + experiment + params, never
+        pool position), ``order`` and ``workers`` do not fragment it.
         """
         if order not in ("cost", "grid"):
             raise ConfigurationError(
@@ -194,7 +203,7 @@ class Campaign:
             pool.sort(key=lambda cell: -cell.cost)
         start = time.perf_counter()
         suite_result = ScenarioSuite.from_cells(pool, name=self.name).run(
-            workers=workers, backend=backend, progress=progress
+            workers=workers, backend=backend, progress=progress, cache=cache
         )
         by_experiment: dict[str, list[CellResult]] = {key: [] for key in self.keys}
         for cell in suite_result.cells:
@@ -210,6 +219,7 @@ class Campaign:
                     error=cell.error,
                     wall_time=cell.wall_time,
                     tags=cell.tags,
+                    cached=cell.cached,
                 )
                 for cell in cells
             ]

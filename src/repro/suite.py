@@ -137,7 +137,17 @@ class Cell:
 
 @dataclass
 class CellResult:
-    """Outcome of one executed cell."""
+    """Outcome of one executed (or cache-served) cell.
+
+    ``cached`` records how the result was obtained when the run consulted a
+    result cache (see :mod:`repro.analysis.cache`): ``"hit"`` (served from
+    the content-addressed store), ``"resumed"`` (recovered from the
+    crash-safe journal of an interrupted run of the same campaign), or
+    ``"miss"`` (freshly executed under an active cache). It stays ``None``
+    on uncached runs and never participates in the cache key or the report
+    artifacts — two runs differing only in cache temperature produce
+    byte-identical numbers.
+    """
 
     index: int
     params: dict[str, Any]
@@ -145,6 +155,7 @@ class CellResult:
     error: str | None = None
     wall_time: float = 0.0
     tags: dict[str, Any] = field(default_factory=dict)
+    cached: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -382,7 +393,12 @@ class ScenarioSuite:
                     "use workers=0 to run closures serially"
                 ) from exc
 
-    def stream(self, *, workers: int | None = None) -> Iterator[CellResult]:
+    def stream(
+        self,
+        *,
+        workers: int | None = None,
+        cells: Sequence[SuiteCell | Cell] | None = None,
+    ) -> Iterator[CellResult]:
         """Yield each cell's result as it completes (completion order).
 
         Serial (``workers`` <= 1) streams in grid order from this process and
@@ -390,9 +406,14 @@ class ScenarioSuite:
         whatever order workers finish — consumers needing grid order sort by
         :attr:`CellResult.index` (``run(backend="stream")`` does). A worker
         that dies outright raises :class:`SuiteExecutionError` naming the
-        cell being awaited.
+        cell being awaited. ``cells`` restricts execution to an explicit
+        subset (how :meth:`run` skips cache-served cells); default is the
+        full grid/pool.
         """
-        cells = self.cells()
+        if cells is None:
+            cells = self.cells()
+        if not cells:
+            return
         if workers is None:
             workers = min(os.cpu_count() or 1, len(cells))
         if workers <= 1:
@@ -433,6 +454,7 @@ class ScenarioSuite:
         chunksize: int = 1,
         backend: str = "stream",
         progress: Callable[[CellResult, int, int], None] | None = None,
+        cache: Any | None = None,
     ) -> SuiteResult:
         """Execute every cell; returns results in grid order.
 
@@ -449,6 +471,18 @@ class ScenarioSuite:
         ``progress(result, completed, total)`` after each cell on either
         backend; cell enumeration and seeding are identical across backends
         and worker counts, so the *result* is too.
+
+        ``cache`` — a :class:`repro.analysis.cache.ResultCache` — makes the
+        run memoized and resumable on *both* backends: cells whose
+        content-addressed key is already in the store (or in the crash-safe
+        journal of an interrupted run of this same campaign) are served
+        without dispatching, reported to ``progress`` first (grid order,
+        marked ``hit``/``resumed``); every freshly executed result is
+        journaled (append + fsync) the moment it streams in, *before* it is
+        reported, so killing the process mid-run loses at most one in-flight
+        cell. Only a run that completes promotes its journal into the store.
+        Cache temperature never changes the returned numbers — a served
+        result is the pickled payload of the identical earlier execution.
         """
         if backend not in ("batch", "stream"):
             raise ConfigurationError(
@@ -461,32 +495,46 @@ class ScenarioSuite:
             workers = min(os.cpu_count() or 1, total)
         effective_workers = max(1, min(workers, total))
 
-        def note(results: list[CellResult]) -> None:
-            if progress is not None:
-                progress(results[-1], len(results), total)
-
+        session = None
+        pending: Sequence[SuiteCell | Cell] = cells
         results: list[CellResult] = []
+
+        def note(result: CellResult) -> None:
+            results.append(result)
+            if progress is not None:
+                progress(result, len(results), total)
+
+        if cache is not None:
+            session = cache.session(self.name, cells, self._runner_of)
+            pending = session.pending
+            for served in session.served:
+                note(served)
+
         if backend == "stream" or workers <= 1:
             # stream(workers<=1) is the serial loop, so the batch backend
             # shares it rather than duplicating the iteration.
             if workers <= 1:
                 effective_workers = 1
-            for result in self.stream(workers=workers):
-                results.append(result)
-                note(results)
-            results.sort(key=lambda cell: cell.index)
+            for result in self.stream(workers=workers, cells=pending):
+                if session is not None:
+                    session.record(result)
+                note(result)
         else:
             import multiprocessing
 
-            self._require_picklable_runners(cells)
-            tasks = [(self._runner_of(cell), cell) for cell in cells]
-            with multiprocessing.Pool(processes=effective_workers) as pool:
-                for result in pool.imap_unordered(
-                    _execute_cell, tasks, chunksize=chunksize
-                ):
-                    results.append(result)
-                    note(results)
-            results.sort(key=lambda cell: cell.index)
+            self._require_picklable_runners(pending)
+            tasks = [(self._runner_of(cell), cell) for cell in pending]
+            if tasks:
+                with multiprocessing.Pool(processes=effective_workers) as pool:
+                    for result in pool.imap_unordered(
+                        _execute_cell, tasks, chunksize=chunksize
+                    ):
+                        if session is not None:
+                            session.record(result)
+                        note(result)
+        if session is not None:
+            session.commit()
+        results.sort(key=lambda cell: cell.index)
         return SuiteResult(
             name=self.name,
             cells=results,
@@ -510,6 +558,11 @@ class SuiteProgress:
     tag prefixes the line — one pool carries cells from many experiments,
     so a single static ``label`` could not identify them. The callback
     fires on both the stream and the batch backend.
+
+    Under a result cache (``run(cache=...)``) each line carries how the
+    cell was obtained (``[cache hit]`` / ``[resumed]``; executed cells stay
+    unmarked) and the final line is followed by a one-line hit/resume/miss
+    summary with the overall served-from-cache rate.
     """
 
     def __init__(
@@ -519,14 +572,31 @@ class SuiteProgress:
         self.stream = stream if stream is not None else sys.stderr
         self.label = label
         self.value_width = value_width
+        self._cache_counts: dict[str, int] = {}
 
     def __call__(self, result: CellResult, completed: int, total: int) -> None:
+        if completed <= 1:
+            self._cache_counts = {}
         label = result.tags.get("experiment", self.label) if result.tags else self.label
         prefix = f"{label}: " if label else ""
         width = len(str(total))
+        cached = getattr(result, "cached", None)
+        if cached is not None:
+            self._cache_counts[cached] = self._cache_counts.get(cached, 0) + 1
+        marker = {"hit": " [cache hit]", "resumed": " [resumed]"}.get(cached, "")
         self.stream.write(
             f"[{completed:>{width}}/{total}] "
             f"{prefix}{result.describe(value_width=self.value_width)} "
-            f"({result.wall_time:.2f}s)\n"
+            f"({result.wall_time:.2f}s){marker}\n"
         )
+        if completed == total and self._cache_counts:
+            hits = self._cache_counts.get("hit", 0)
+            resumed = self._cache_counts.get("resumed", 0)
+            misses = self._cache_counts.get("miss", 0)
+            served = hits + resumed
+            rate = 100.0 * served / total if total else 0.0
+            self.stream.write(
+                f"cache: {hits} hit, {resumed} resumed, {misses} executed "
+                f"— {rate:.0f}% served from cache\n"
+            )
         self.stream.flush()
